@@ -1,0 +1,125 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace pgl::bench {
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            o.scale = std::atof(next());
+        } else if (arg == "--iters") {
+            o.iters = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--factor") {
+            o.factor = std::atof(next());
+        } else if (arg == "--threads") {
+            o.threads = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--seed") {
+            o.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--quick") {
+            o.quick = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "options: --scale F --iters N --factor F --threads N"
+                         " --seed N --quick\n";
+            std::exit(0);
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            std::exit(2);
+        }
+    }
+    if (o.quick) {
+        o.scale = std::min(o.scale, 0.001);
+        o.iters = std::min<std::uint32_t>(o.iters, 4);
+        o.factor = std::min(o.factor, 0.5);
+    }
+    return o;
+}
+
+core::LayoutConfig BenchOptions::layout_config() const {
+    core::LayoutConfig cfg;
+    cfg.iter_max = iters;
+    cfg.steps_per_iter_factor = factor;
+    cfg.threads = threads;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+void TablePrinter::print_header(std::ostream& os) const {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << std::left << std::setw(widths_[c]) << headers_[c];
+        total += static_cast<std::size_t>(widths_[c]);
+    }
+    os << '\n' << std::string(total, '-') << '\n';
+}
+
+void TablePrinter::print_row(std::ostream& os,
+                             const std::vector<std::string>& cells) const {
+    for (std::size_t c = 0; c < cells.size() && c < widths_.size(); ++c) {
+        os << std::left << std::setw(widths_[c]) << cells[c];
+    }
+    os << '\n';
+}
+
+std::string format_hms(double seconds) {
+    if (seconds < 0) seconds = 0;
+    const int total = static_cast<int>(seconds);
+    const int h = total / 3600;
+    const int m = (total / 60) % 60;
+    const double s = seconds - h * 3600 - m * 60;
+    char buf[64];
+    if (h == 0 && m == 0 && s < 10.0) {
+        std::snprintf(buf, sizeof buf, "0:00:%06.3f", s);
+    } else {
+        std::snprintf(buf, sizeof buf, "%d:%02d:%02d", h, m, static_cast<int>(s));
+    }
+    return buf;
+}
+
+std::string fmt(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string fmt_sci(double v, int precision) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+}
+
+double full_scale_updates(const graph::LeanGraph& scaled, double scale) {
+    const double full_steps =
+        static_cast<double>(scaled.total_path_steps()) / std::max(1e-12, scale);
+    return 30.0 * 10.0 * full_steps;
+}
+
+graph::LeanGraph build_lean(const workloads::PangenomeSpec& spec, bool verbose) {
+    const auto g = workloads::generate_pangenome(spec);
+    if (verbose) {
+        const auto s = g.stats();
+        std::cout << "# " << spec.name << ": " << s.nodes << " nodes, " << s.edges
+                  << " edges, " << s.paths << " paths, " << s.total_path_steps
+                  << " total steps\n";
+    }
+    return graph::LeanGraph::from_graph(g);
+}
+
+}  // namespace pgl::bench

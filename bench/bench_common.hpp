@@ -1,0 +1,64 @@
+#pragma once
+// Shared harness for the table/figure reproduction benches: command-line
+// parsing (--scale, --iters, --factor, --threads, --seed), table printing,
+// and workload caching so the same scaled graph is reused across benches.
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/lean_graph.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pgl::bench {
+
+/// Options common to every reproduction bench. Defaults are sized so the
+/// whole suite finishes on a small 1-core container; raise --scale and
+/// --factor on bigger machines to approach paper-scale workloads.
+struct BenchOptions {
+    double scale = 0.004;        ///< graph-size multiplier vs paper scale
+    std::uint32_t iters = 12;    ///< SGD iterations (paper default: 30)
+    double factor = 1.0;         ///< steps-per-iteration factor (paper: 10)
+    std::uint32_t threads = 1;   ///< CPU threads
+    std::uint64_t seed = 42;
+    bool quick = false;          ///< further reduce work (CI smoke mode)
+
+    static BenchOptions parse(int argc, char** argv);
+
+    core::LayoutConfig layout_config() const;
+};
+
+/// Fixed-width table printer used by all benches so outputs read like the
+/// paper's tables.
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> headers,
+                          std::vector<int> widths);
+
+    void print_header(std::ostream& os) const;
+    void print_row(std::ostream& os, const std::vector<std::string>& cells) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<int> widths_;
+};
+
+/// Formats seconds as the paper's h:mm:ss (with fractional seconds below 10 s).
+std::string format_hms(double seconds);
+
+/// Formats a double with the given precision.
+std::string fmt(double v, int precision = 2);
+
+/// Formats in scientific notation like the paper ("1.1e7").
+std::string fmt_sci(double v, int precision = 1);
+
+/// Builds the lean graph for a preset, printing a one-line summary.
+graph::LeanGraph build_lean(const workloads::PangenomeSpec& spec, bool verbose = true);
+
+/// Paper-default full-scale update count for a graph generated at `scale`:
+/// 30 iterations x 10 x (total path steps scaled back up). Used to
+/// extrapolate modeled per-update costs to the paper's workload sizes.
+double full_scale_updates(const graph::LeanGraph& scaled, double scale);
+
+}  // namespace pgl::bench

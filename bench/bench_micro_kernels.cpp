@@ -1,0 +1,113 @@
+// google-benchmark microbenchmarks for the hot primitives of the layout
+// engine: PRNGs, samplers, the SGD update step and the stress metrics.
+#include <benchmark/benchmark.h>
+
+#include "core/cpu_engine.hpp"
+#include "core/sampling.hpp"
+#include "core/step_math.hpp"
+#include "metrics/path_stress.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/xorwow.hpp"
+#include "rng/xoshiro256.hpp"
+#include "rng/zipf.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace pgl;
+
+const graph::LeanGraph& micro_graph() {
+    static const graph::LeanGraph g = [] {
+        workloads::PangenomeSpec spec;
+        spec.backbone_nodes = 20000;
+        spec.n_paths = 12;
+        spec.seed = 99;
+        return graph::LeanGraph::from_graph(workloads::generate_pangenome(spec));
+    }();
+    return g;
+}
+
+void BM_Xoshiro256Next(benchmark::State& state) {
+    rng::Xoshiro256Plus rng(1);
+    for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Xoshiro256Next);
+
+void BM_XorwowNext(benchmark::State& state) {
+    auto st = rng::xorwow_init(1, 0);
+    for (auto _ : state) benchmark::DoNotOptimize(rng::xorwow_next(st));
+}
+BENCHMARK(BM_XorwowNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+    rng::Xoshiro256Plus rng(2);
+    rng::ZipfSampler zipf(static_cast<std::uint64_t>(state.range(0)), 0.99);
+    for (auto _ : state) benchmark::DoNotOptimize(zipf(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(100000);
+
+void BM_AliasTableSample(benchmark::State& state) {
+    rng::Xoshiro256Plus rng(3);
+    std::vector<double> w(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] = 1.0 + (i % 37);
+    rng::AliasTable t{std::span<const double>(w)};
+    for (auto _ : state) benchmark::DoNotOptimize(t(rng));
+}
+BENCHMARK(BM_AliasTableSample)->Arg(16)->Arg(4096);
+
+void BM_PairSample(benchmark::State& state) {
+    const auto& g = micro_graph();
+    core::LayoutConfig cfg;
+    const core::PairSampler sampler(g, cfg);
+    rng::Xoshiro256Plus rng(4);
+    const bool cooling = state.range(0) != 0;
+    for (auto _ : state) benchmark::DoNotOptimize(sampler.sample(cooling, rng));
+}
+BENCHMARK(BM_PairSample)->Arg(0)->Arg(1);
+
+void BM_SgdTermUpdate(benchmark::State& state) {
+    double x = 0;
+    for (auto _ : state) {
+        const auto d = core::sgd_term_update(0.f, 0.f, 10.f, 3.f, 4.0, 0.5, 1e-4);
+        x += d.dx_i;
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_SgdTermUpdate);
+
+void BM_FullUpdateStep(benchmark::State& state) {
+    const auto& g = micro_graph();
+    core::LayoutConfig cfg;
+    const core::PairSampler sampler(g, cfg);
+    rng::Xoshiro256Plus rng(5);
+    rng::Xoshiro256Plus init(6);
+    const auto initial = core::make_linear_initial_layout(g, init);
+    core::LayoutSoA store(initial);
+    for (auto _ : state) {
+        const auto t = sampler.sample(false, rng);
+        if (!t.valid) continue;
+        const float xi = store.load_x(t.node_i, t.end_i);
+        const float yi = store.load_y(t.node_i, t.end_i);
+        const float xj = store.load_x(t.node_j, t.end_j);
+        const float yj = store.load_y(t.node_j, t.end_j);
+        const auto d = core::sgd_term_update(xi, yi, xj, yj, t.d_ref, 1.0, 1e-4);
+        store.store_x(t.node_i, t.end_i, xi + d.dx_i);
+        store.store_y(t.node_i, t.end_i, yi + d.dy_i);
+        store.store_x(t.node_j, t.end_j, xj + d.dx_j);
+        store.store_y(t.node_j, t.end_j, yj + d.dy_j);
+    }
+}
+BENCHMARK(BM_FullUpdateStep);
+
+void BM_SampledPathStress(benchmark::State& state) {
+    const auto& g = micro_graph();
+    rng::Xoshiro256Plus init(7);
+    const auto layout = core::make_linear_initial_layout(g, init);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            metrics::sampled_path_stress(g, layout, 5, 1).value);
+    }
+}
+BENCHMARK(BM_SampledPathStress);
+
+}  // namespace

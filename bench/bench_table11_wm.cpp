@@ -1,0 +1,64 @@
+// Reproduces Table XI: effects of warp merging (WM) — executed
+// instructions, average active threads per warp, modeled run time.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gpusim/gpu_machine.hpp"
+#include "gpusim/gpu_spec.hpp"
+
+int main(int argc, char** argv) {
+    using namespace pgl;
+    const auto opt = bench::BenchOptions::parse(argc, argv);
+    std::cout << "== Table XI: effects of warp merging ==\n";
+
+    const auto spec = workloads::chromosome_spec(1, opt.scale);
+    const auto g = bench::build_lean(spec);
+    const auto cfg = opt.layout_config();
+    const double full_updates = bench::full_scale_updates(g, opt.scale);
+
+    gpusim::SimOptions sopt;
+    sopt.counter_sample_period = opt.quick ? 32 : 24;
+    sopt.cache_scale = opt.scale;
+    const auto a6000 = gpusim::rtx_a6000();
+    gpusim::KernelConfig base = gpusim::KernelConfig::base();
+    gpusim::KernelConfig wm = base;
+    wm.warp_merge = true;
+    const auto r_base = gpusim::simulate_gpu_layout(g, cfg, base, a6000, sopt);
+    const auto r_wm = gpusim::simulate_gpu_layout(g, cfg, wm, a6000, sopt);
+    const double scale_up =
+        full_updates / static_cast<double>(r_base.counters.lane_updates);
+
+    bench::TablePrinter table({"Metric", "w/o WM", "w/ WM", "Improv.",
+                               "Paper improv."},
+                              {36, 12, 12, 10, 14});
+    table.print_header(std::cout);
+    table.print_row(
+        std::cout,
+        {"Executed instructions (billions, full)",
+         bench::fmt(r_base.counters.executed_warp_instructions * scale_up / 1e9, 1),
+         bench::fmt(r_wm.counters.executed_warp_instructions * scale_up / 1e9, 1),
+         bench::fmt(r_base.counters.executed_warp_instructions /
+                        r_wm.counters.executed_warp_instructions,
+                    1) +
+             "x",
+         "1.5x"});
+    table.print_row(std::cout,
+                    {"Avg. active threads per warp (#)",
+                     bench::fmt(r_base.counters.avg_active_threads(), 1),
+                     bench::fmt(r_wm.counters.avg_active_threads(), 1),
+                     bench::fmt(r_wm.counters.avg_active_threads() /
+                                    r_base.counters.avg_active_threads(),
+                                1) +
+                         "x",
+                     "1.4x"});
+    table.print_row(std::cout,
+                    {"GPU run time (s, modeled)",
+                     bench::fmt(r_base.modeled_seconds * scale_up, 1),
+                     bench::fmt(r_wm.modeled_seconds * scale_up, 1),
+                     bench::fmt(r_base.modeled_seconds / r_wm.modeled_seconds, 1) +
+                         "x",
+                     "1.1x"});
+    std::cout << "\npaper: 131.3e9 -> 90.1e9 instructions; 20.5 -> 27.9 "
+                 "active threads; 569.4 -> 527.4 s\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Table IV (CUDA kernel launching overhead) and Fig. 7 (kernel
+// time breakdown) for the PyTorch-style implementation on MHC.
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "tensor/torch_layout.hpp"
+
+int main(int argc, char** argv) {
+    using namespace pgl;
+    const auto opt = bench::BenchOptions::parse(argc, argv);
+    std::cout << "== Table IV + Fig. 7: PyTorch kernel launches & breakdown ==\n";
+
+    const double mhc_scale = opt.scale * 25;
+    const auto g = bench::build_lean(workloads::mhc_spec(mhc_scale));
+    const auto cfg = opt.layout_config();
+
+    tensor::KernelCostModel cost;
+    cost.coord_bytes_override =
+        2.0 * 2.0 * static_cast<double>(g.node_count()) * sizeof(float) / mhc_scale;
+    // Batches are scaled down with the graph; per-batch overheads must be
+    // amortized as if batches were paper-sized, so scale them down too.
+    cost.host_per_batch_us *= mhc_scale;
+    cost.launch_overhead_us *= mhc_scale;
+
+    // Table IV: launches and API-time percentage per batch size.
+    bench::TablePrinter t4({"Batch (paper)", "Kernels launched", "API time %",
+                            "Paper kernels", "Paper API %"},
+                           {15, 18, 12, 15, 12});
+    std::cout << "\n-- Table IV --\n";
+    t4.print_header(std::cout);
+    struct Row {
+        const char* name;
+        double full_batch;
+        const char* paper_kernels;
+        const char* paper_api;
+    };
+    const Row rows[] = {
+        {"100K", 1e5, "6,562,860", "76.4%"},
+        {"1M", 1e6, "651,480", "20.2%"},
+        {"10M", 1e7, "64,080", "2.1%"},
+    };
+    tensor::TorchLayoutResult mid;  // keep the 1M run for the Fig. 7 breakdown
+    for (const Row& r : rows) {
+        const std::uint64_t batch = static_cast<std::uint64_t>(
+            std::max(64.0, r.full_batch * mhc_scale));
+        auto res = tensor::layout_torch(g, cfg, batch, cost);
+        t4.print_row(std::cout, {r.name, std::to_string(res.kernel_launches),
+                                 bench::fmt(100.0 * res.api_time_fraction, 1) + "%",
+                                 r.paper_kernels, r.paper_api});
+        if (r.full_batch == 1e6) mid = std::move(res);
+    }
+    std::cout << "(launch counts are lower than the paper's by ~1/scale: the "
+                 "graph and batch are both scaled)\n";
+
+    // Fig. 7: kernel-time shares for the batch-1M run.
+    std::cout << "\n-- Fig. 7 (batch 1M): kernel time breakdown --\n";
+    double total = 0;
+    for (const auto& [name, sec] : mid.profiler.per_kernel_seconds()) total += sec;
+    std::vector<std::pair<std::string, double>> shares(
+        mid.profiler.per_kernel_seconds().begin(),
+        mid.profiler.per_kernel_seconds().end());
+    std::sort(shares.begin(), shares.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (const auto& [name, sec] : shares) {
+        std::cout << "  " << std::left << std::setw(12) << name
+                  << bench::fmt(100.0 * sec / total, 1) << "%\n";
+    }
+    std::cout << "paper: index ~34-36% (largest), then pow/mul/where/add\n";
+    return 0;
+}

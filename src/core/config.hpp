@@ -1,0 +1,62 @@
+#pragma once
+// Tunables of the PG-SGD layout algorithm (Alg. 1). Defaults follow
+// odgi-layout's defaults as described in the paper: 30 iterations, cooling
+// in the second half, N_steps = 10 x (sum of path step counts) per
+// iteration.
+#include <cstdint>
+
+namespace pgl::core {
+
+struct LayoutConfig {
+    /// Total SGD iterations (N_iters in Alg. 1); odgi default is 30.
+    std::uint32_t iter_max = 30;
+
+    /// Iteration count the annealing schedule is computed over; 0 means
+    /// iter_max. Setting this larger than iter_max yields a truncated
+    /// ("stopped early") run of a longer schedule — used to produce
+    /// partially-converged layouts for quality studies (Fig. 12).
+    std::uint32_t schedule_iter_max = 0;
+
+    /// Updates per iteration are `steps_per_iter_factor x total_path_steps`
+    /// (Alg. 1 line 1 uses factor 10).
+    double steps_per_iter_factor = 10.0;
+
+    /// Final learning rate of the annealing schedule.
+    double eps = 0.01;
+
+    /// Fraction of iterations after which every step takes the cooling
+    /// (Zipf-local) branch; before that the branch is a coin flip
+    /// (Alg. 1 line 6).
+    double cooling_start = 0.5;
+
+    /// Exponent of the Zipf hop-distance distribution in the cooling branch.
+    double zipf_theta = 0.99;
+
+    /// Largest hop distance the cooling branch may draw. 0 means "path
+    /// length" (unbounded); odgi quantizes the space similarly.
+    std::uint64_t zipf_space_max = 1000;
+
+    /// Worker threads for the Hogwild! engine.
+    std::uint32_t threads = 1;
+
+    /// PRNG seed; every run with the same seed and 1 thread is bit-exact.
+    std::uint64_t seed = 9'399'220'614'123'047ULL;
+
+    /// Scale of the uniform y-jitter in the initial layout (x mean node len).
+    double init_jitter = 1.0;
+
+    std::uint32_t schedule_length() const noexcept {
+        return schedule_iter_max ? schedule_iter_max : iter_max;
+    }
+
+    bool cooling(std::uint32_t iter) const noexcept {
+        return iter >= static_cast<std::uint32_t>(cooling_start * schedule_length());
+    }
+
+    std::uint64_t steps_per_iteration(std::uint64_t total_path_steps) const noexcept {
+        const double s = steps_per_iter_factor * static_cast<double>(total_path_steps);
+        return s < 1.0 ? 1 : static_cast<std::uint64_t>(s);
+    }
+};
+
+}  // namespace pgl::core

@@ -1,0 +1,109 @@
+#include "core/cpu_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/schedule.hpp"
+#include "core/step_math.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace pgl::core {
+
+namespace {
+
+template <typename Store>
+void run_worker(const PairSampler& sampler, const LayoutConfig& cfg,
+                const std::vector<double>& etas, Store& store,
+                rng::Xoshiro256Plus rng, std::uint64_t steps_per_iter,
+                std::atomic<std::uint64_t>& skipped_total) {
+    std::uint64_t skipped = 0;
+    for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+        const double eta = etas[iter];
+        const bool cooling_iter = cfg.cooling(iter);
+        for (std::uint64_t s = 0; s < steps_per_iter; ++s) {
+            const TermSample t = sampler.sample(cooling_iter, rng);
+            if (!t.valid) {
+                ++skipped;
+                continue;
+            }
+            const float xi = store.load_x(t.node_i, t.end_i);
+            const float yi = store.load_y(t.node_i, t.end_i);
+            const float xj = store.load_x(t.node_j, t.end_j);
+            const float yj = store.load_y(t.node_j, t.end_j);
+            const double nudge = (rng.next_double() - 0.5) * 1e-3;
+            const PointDelta d =
+                sgd_term_update(xi, yi, xj, yj, t.d_ref, eta,
+                                nudge == 0.0 ? 1e-4 : nudge);
+            store.store_x(t.node_i, t.end_i, xi + d.dx_i);
+            store.store_y(t.node_i, t.end_i, yi + d.dy_i);
+            store.store_x(t.node_j, t.end_j, xj + d.dx_j);
+            store.store_y(t.node_j, t.end_j, yj + d.dy_j);
+        }
+    }
+    skipped_total.fetch_add(skipped, std::memory_order_relaxed);
+}
+
+template <typename Store>
+LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
+                        Store& store) {
+    LayoutResult result;
+    result.eta_schedule = make_eta_schedule(
+        cfg.schedule_length(), cfg.eps,
+        static_cast<double>(g.max_path_nuc_length()));
+
+    const PairSampler sampler(g, cfg);
+    const std::uint64_t n_steps = cfg.steps_per_iteration(g.total_path_steps());
+    const std::uint32_t n_threads = cfg.threads == 0 ? 1 : cfg.threads;
+    const std::uint64_t per_thread = (n_steps + n_threads - 1) / n_threads;
+
+    std::atomic<std::uint64_t> skipped{0};
+    rng::Xoshiro256Plus seeder(cfg.seed);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (n_threads == 1) {
+        run_worker(sampler, cfg, result.eta_schedule, store, seeder, n_steps,
+                   skipped);
+        result.updates = static_cast<std::uint64_t>(cfg.iter_max) * n_steps;
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(n_threads);
+        for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
+            rng::Xoshiro256Plus rng = seeder;
+            for (std::uint32_t j = 0; j < tid; ++j) rng.jump();
+            workers.emplace_back([&, rng] {
+                run_worker(sampler, cfg, result.eta_schedule, store, rng,
+                           per_thread, skipped);
+            });
+        }
+        for (auto& w : workers) w.join();
+        result.updates =
+            static_cast<std::uint64_t>(cfg.iter_max) * per_thread * n_threads;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    result.skipped = skipped.load();
+    result.layout = store.snapshot();
+    return result;
+}
+
+}  // namespace
+
+LayoutResult layout_cpu_from(const graph::LeanGraph& g, const LayoutConfig& cfg,
+                             const Layout& initial, CoordStore store) {
+    if (store == CoordStore::kAoS) {
+        LayoutAoS s(initial, g);
+        return run_layout(g, cfg, s);
+    }
+    LayoutSoA s(initial);
+    return run_layout(g, cfg, s);
+}
+
+LayoutResult layout_cpu(const graph::LeanGraph& g, const LayoutConfig& cfg,
+                        CoordStore store) {
+    rng::Xoshiro256Plus init_rng(cfg.seed ^ 0xa02bdbf7bb3c0a7ULL);
+    const Layout initial = make_linear_initial_layout(g, init_rng, cfg.init_jitter);
+    return layout_cpu_from(g, cfg, initial, store);
+}
+
+}  // namespace pgl::core

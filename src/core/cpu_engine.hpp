@@ -1,0 +1,44 @@
+#pragma once
+// The multithreaded CPU baseline (paper Sec. III): PG-SGD with Hogwild!
+// asynchronous updates. Each worker owns a jumped Xoshiro256+ stream and
+// performs its share of the N_steps updates of every iteration without
+// locking; the graph's extreme sparsity makes collisions harmless, exactly
+// the argument of Sec. III-A.
+//
+// The engine is parameterized on the coordinate store so the same code runs
+// with the original SoA organization and with the cache-friendly AoS
+// organization (the "CPU w/ cache-friendly data layout" bar of Fig. 16).
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/layout.hpp"
+#include "core/sampling.hpp"
+#include "graph/lean_graph.hpp"
+
+namespace pgl::core {
+
+struct LayoutResult {
+    Layout layout;
+    double seconds = 0.0;             ///< wall-clock time of the SGD loop
+    std::uint64_t updates = 0;        ///< terms processed (including skipped)
+    std::uint64_t skipped = 0;        ///< degenerate terms (d_ref == 0 etc.)
+    std::vector<double> eta_schedule; ///< learning rate used per iteration
+};
+
+enum class CoordStore : std::uint8_t {
+    kSoA,  ///< original ODGI organization (separate X / Y / length arrays)
+    kAoS,  ///< cache-friendly data layout (packed node records)
+};
+
+/// Runs the full PG-SGD loop on the CPU and returns the final layout.
+/// Deterministic for cfg.threads == 1 and a fixed seed.
+LayoutResult layout_cpu(const graph::LeanGraph& g, const LayoutConfig& cfg,
+                        CoordStore store = CoordStore::kSoA);
+
+/// Same, but starting from a caller-provided initial layout.
+LayoutResult layout_cpu_from(const graph::LeanGraph& g, const LayoutConfig& cfg,
+                             const Layout& initial,
+                             CoordStore store = CoordStore::kSoA);
+
+}  // namespace pgl::core

@@ -1,0 +1,187 @@
+#pragma once
+// Layout state for PG-SGD. Each node is drawn as a line segment with a
+// start and an end visualization point (paper Sec. II-C); the layout is the
+// collection of those 2n points.
+//
+// Two storage policies implement the paper's data-layout ablation:
+//   * LayoutSoA — the "original" ODGI organization: X and Y coordinate
+//     arrays separate from the node-length array (Fig. 9a). Updating one
+//     node touches three different arrays.
+//   * LayoutAoS — the cache-friendly data layout (CDL, Fig. 9b): one packed
+//     record {len, sx, sy, ex, ey} per node, one memory access per node.
+//
+// Both policies expose relaxed-atomic accessors so the multithreaded
+// Hogwild! engine performs the same intentionally-unsynchronized updates as
+// odgi-layout without undefined behaviour (std::atomic_ref, relaxed order).
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "graph/lean_graph.hpp"
+
+namespace pgl::core {
+
+/// Endpoint selector for a node's line segment.
+enum class End : std::uint8_t { kStart = 0, kEnd = 1 };
+
+/// A plain, storage-agnostic snapshot of a layout (used by metrics, IO and
+/// rendering). Index i holds the segment of node i.
+struct Layout {
+    std::vector<float> start_x, start_y, end_x, end_y;
+
+    std::size_t size() const noexcept { return start_x.size(); }
+    void resize(std::size_t n) {
+        start_x.resize(n);
+        start_y.resize(n);
+        end_x.resize(n);
+        end_y.resize(n);
+    }
+};
+
+/// Initializes a layout the way odgi-layout does: nodes are unrolled along
+/// one axis by cumulative nucleotide offset (so the initial picture is the
+/// linear genome), with small uniform jitter on the other axis to break the
+/// 1-D symmetry of the gradient.
+template <typename Rng>
+Layout make_linear_initial_layout(const graph::LeanGraph& g, Rng& rng,
+                                  double jitter_scale = 1.0) {
+    Layout l;
+    l.resize(g.node_count());
+    double x = 0.0;
+    double mean_len = 0.0;
+    for (std::uint32_t i = 0; i < g.node_count(); ++i) mean_len += g.node_length(i);
+    mean_len = g.node_count() ? mean_len / g.node_count() : 1.0;
+    const double jitter = jitter_scale * mean_len;
+    for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+        l.start_x[i] = static_cast<float>(x);
+        x += g.node_length(i);
+        l.end_x[i] = static_cast<float>(x);
+        l.start_y[i] = static_cast<float>((rng.next_double() - 0.5) * jitter);
+        l.end_y[i] = static_cast<float>((rng.next_double() - 0.5) * jitter);
+    }
+    return l;
+}
+
+/// Struct-of-arrays coordinate store (original ODGI organization).
+/// X layout matches the paper: [sx0, ex0, sx1, ex1, ...], same for Y.
+class LayoutSoA {
+public:
+    explicit LayoutSoA(const Layout& init) { load(init); }
+
+    void load(const Layout& init) {
+        const std::size_t n = init.size();
+        xs_.resize(2 * n);
+        ys_.resize(2 * n);
+        for (std::size_t i = 0; i < n; ++i) {
+            xs_[2 * i] = init.start_x[i];
+            xs_[2 * i + 1] = init.end_x[i];
+            ys_[2 * i] = init.start_y[i];
+            ys_[2 * i + 1] = init.end_y[i];
+        }
+    }
+
+    std::size_t node_count() const noexcept { return xs_.size() / 2; }
+
+    float load_x(std::uint32_t node, End e) const noexcept {
+        return std::atomic_ref<const float>(xs_[idx(node, e)])
+            .load(std::memory_order_relaxed);
+    }
+    float load_y(std::uint32_t node, End e) const noexcept {
+        return std::atomic_ref<const float>(ys_[idx(node, e)])
+            .load(std::memory_order_relaxed);
+    }
+    void store_x(std::uint32_t node, End e, float v) noexcept {
+        std::atomic_ref<float>(xs_[idx(node, e)]).store(v, std::memory_order_relaxed);
+    }
+    void store_y(std::uint32_t node, End e, float v) noexcept {
+        std::atomic_ref<float>(ys_[idx(node, e)]).store(v, std::memory_order_relaxed);
+    }
+
+    Layout snapshot() const {
+        Layout l;
+        const std::size_t n = node_count();
+        l.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            l.start_x[i] = xs_[2 * i];
+            l.end_x[i] = xs_[2 * i + 1];
+            l.start_y[i] = ys_[2 * i];
+            l.end_y[i] = ys_[2 * i + 1];
+        }
+        return l;
+    }
+
+private:
+    static std::size_t idx(std::uint32_t node, End e) noexcept {
+        return 2 * static_cast<std::size_t>(node) + static_cast<std::size_t>(e);
+    }
+
+    std::vector<float> xs_;
+    std::vector<float> ys_;
+};
+
+/// Packed per-node record of the cache-friendly data layout. 24 bytes so an
+/// aligned pair of records never straddles more than one 64-byte line.
+struct alignas(8) NodeRecord {
+    std::uint32_t length;
+    std::uint32_t pad;  // keeps the float quartet 8-byte aligned
+    float sx, sy, ex, ey;
+};
+
+static_assert(sizeof(NodeRecord) == 24);
+
+/// Array-of-structs coordinate store (cache-friendly data layout).
+class LayoutAoS {
+public:
+    LayoutAoS(const Layout& init, const graph::LeanGraph& g) {
+        const std::size_t n = init.size();
+        recs_.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            recs_[i].length = g.node_length(static_cast<std::uint32_t>(i));
+            recs_[i].pad = 0;
+            recs_[i].sx = init.start_x[i];
+            recs_[i].sy = init.start_y[i];
+            recs_[i].ex = init.end_x[i];
+            recs_[i].ey = init.end_y[i];
+        }
+    }
+
+    std::size_t node_count() const noexcept { return recs_.size(); }
+
+    float load_x(std::uint32_t node, End e) const noexcept {
+        const NodeRecord& r = recs_[node];
+        return std::atomic_ref<const float>(e == End::kStart ? r.sx : r.ex)
+            .load(std::memory_order_relaxed);
+    }
+    float load_y(std::uint32_t node, End e) const noexcept {
+        const NodeRecord& r = recs_[node];
+        return std::atomic_ref<const float>(e == End::kStart ? r.sy : r.ey)
+            .load(std::memory_order_relaxed);
+    }
+    void store_x(std::uint32_t node, End e, float v) noexcept {
+        NodeRecord& r = recs_[node];
+        std::atomic_ref<float>(e == End::kStart ? r.sx : r.ex)
+            .store(v, std::memory_order_relaxed);
+    }
+    void store_y(std::uint32_t node, End e, float v) noexcept {
+        NodeRecord& r = recs_[node];
+        std::atomic_ref<float>(e == End::kStart ? r.sy : r.ey)
+            .store(v, std::memory_order_relaxed);
+    }
+
+    Layout snapshot() const {
+        Layout l;
+        l.resize(recs_.size());
+        for (std::size_t i = 0; i < recs_.size(); ++i) {
+            l.start_x[i] = recs_[i].sx;
+            l.start_y[i] = recs_[i].sy;
+            l.end_x[i] = recs_[i].ex;
+            l.end_y[i] = recs_[i].ey;
+        }
+        return l;
+    }
+
+private:
+    std::vector<NodeRecord> recs_;
+};
+
+}  // namespace pgl::core

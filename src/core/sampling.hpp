@@ -1,0 +1,138 @@
+#pragma once
+// Node-pair sampling for PG-SGD (Alg. 1 lines 5-13): pick a path with
+// probability proportional to its step count, then a pair of steps on it —
+// uniformly in the exploration phase, Zipf-distributed hop distance in the
+// cooling phase — then a random endpoint of each node's segment.
+//
+// This sampler is shared by every backend (CPU engine, GPU simulator,
+// tensor implementation, memory-characterization replayer) so that all of
+// them draw terms from the identical distribution.
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/layout.hpp"
+#include "graph/lean_graph.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/zipf.hpp"
+
+namespace pgl::core {
+
+/// One sampled stress term: two steps on one path plus chosen endpoints and
+/// the reference (path-nucleotide) distance between the chosen points.
+struct TermSample {
+    std::uint32_t path;
+    std::uint32_t step_i, step_j;
+    std::uint32_t node_i, node_j;
+    End end_i, end_j;
+    std::uint64_t pos_i, pos_j;  ///< path-space positions of the endpoints
+    double d_ref;
+    bool valid;         ///< false when the term degenerates (d_ref == 0 etc.)
+    bool took_cooling;  ///< which branch of Alg. 1 line 7 was taken
+};
+
+/// Path-space position of the chosen endpoint of a step: a forward step's
+/// segment start sits at the step offset and its end at offset + length;
+/// a reverse-complement step swaps the two.
+inline std::uint64_t endpoint_path_position(std::uint64_t step_pos,
+                                            std::uint32_t node_len,
+                                            bool step_reverse, End e) noexcept {
+    const bool at_end = (e == End::kEnd);
+    return (at_end != step_reverse) ? step_pos + node_len : step_pos;
+}
+
+class PairSampler {
+public:
+    PairSampler(const graph::LeanGraph& g, const LayoutConfig& cfg) : g_(&g), cfg_(cfg) {
+        std::vector<double> weights(g.path_count());
+        for (std::uint32_t p = 0; p < g.path_count(); ++p) {
+            weights[p] = static_cast<double>(g.path_step_count(p));
+        }
+        path_alias_.build(weights);
+        zipf_.reserve(g.path_count());
+        for (std::uint32_t p = 0; p < g.path_count(); ++p) {
+            std::uint64_t space = g.path_step_count(p) > 1 ? g.path_step_count(p) - 1 : 1;
+            if (cfg.zipf_space_max > 0 && space > cfg.zipf_space_max) {
+                space = cfg.zipf_space_max;
+            }
+            zipf_.emplace_back(space, cfg.zipf_theta);
+        }
+    }
+
+    const graph::LeanGraph& graph() const noexcept { return *g_; }
+
+    /// Draws one term. `cooling_iter` is the Alg. 1 line 6 predicate for the
+    /// current iteration (iter >= N_iters/2); the per-step coin flip is
+    /// drawn here. `Rng` must provide next(), next_double(), next_bounded(),
+    /// flip_coin().
+    template <typename Rng>
+    TermSample sample(bool cooling_iter, Rng& rng) const {
+        const bool cooling = cooling_iter || rng.flip_coin();
+        return sample_branch(cooling, rng);
+    }
+
+    /// Draws one term with the cooling/non-cooling branch already decided —
+    /// the warp-merging kernel decides it once per warp (Sec. V-B3) instead
+    /// of per thread.
+    template <typename Rng>
+    TermSample sample_branch(bool cooling, Rng& rng) const {
+        TermSample t{};
+        t.took_cooling = cooling;
+        t.path = path_alias_(rng);
+        const std::uint32_t n_steps = g_->path_step_count(t.path);
+        if (n_steps < 2) {
+            t.valid = false;
+            return t;
+        }
+
+        t.step_i = static_cast<std::uint32_t>(rng.next_bounded(n_steps));
+        if (cooling) {
+            // Zipf-distributed hop in a random direction, reflected at the
+            // path ends so every step can reach a partner.
+            const std::uint64_t hop = zipf_[t.path](rng);
+            std::int64_t j = static_cast<std::int64_t>(t.step_i);
+            j += rng.flip_coin() ? static_cast<std::int64_t>(hop)
+                                 : -static_cast<std::int64_t>(hop);
+            if (j < 0) j = -j;
+            const std::int64_t last = static_cast<std::int64_t>(n_steps) - 1;
+            if (j > last) j = 2 * last - j;
+            if (j < 0) j = 0;  // extremely short path + long hop
+            t.step_j = static_cast<std::uint32_t>(j);
+        } else {
+            t.step_j = static_cast<std::uint32_t>(rng.next_bounded(n_steps));
+        }
+        if (t.step_j == t.step_i) {
+            t.valid = false;
+            return t;
+        }
+
+        t.node_i = g_->step_node(t.path, t.step_i);
+        t.node_j = g_->step_node(t.path, t.step_j);
+        t.end_i = rng.flip_coin() ? End::kStart : End::kEnd;
+        t.end_j = rng.flip_coin() ? End::kStart : End::kEnd;
+
+        t.pos_i = endpoint_path_position(
+            g_->step_position(t.path, t.step_i), g_->node_length(t.node_i),
+            g_->step_is_reverse(t.path, t.step_i), t.end_i);
+        t.pos_j = endpoint_path_position(
+            g_->step_position(t.path, t.step_j), g_->node_length(t.node_j),
+            g_->step_is_reverse(t.path, t.step_j), t.end_j);
+        const std::uint64_t d = t.pos_i > t.pos_j ? t.pos_i - t.pos_j
+                                                  : t.pos_j - t.pos_i;
+        if (d == 0) {
+            t.valid = false;
+            return t;
+        }
+        t.d_ref = static_cast<double>(d);
+        t.valid = true;
+        return t;
+    }
+
+private:
+    const graph::LeanGraph* g_;
+    LayoutConfig cfg_;
+    rng::AliasTable path_alias_;
+    std::vector<rng::ZipfSampler> zipf_;
+};
+
+}  // namespace pgl::core

@@ -1,0 +1,28 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgl::core {
+
+std::vector<double> make_eta_schedule(std::uint32_t iter_max, double eps,
+                                      double max_dref) {
+    std::vector<double> etas;
+    if (iter_max == 0) return etas;
+    etas.reserve(iter_max);
+    const double d = std::max(1.0, max_dref);
+    const double eta_max = d * d;
+    const double eta_min = std::max(eps, 1e-30);
+    if (iter_max == 1) {
+        etas.push_back(eta_max);
+        return etas;
+    }
+    const double lambda =
+        std::log(eta_max / eta_min) / static_cast<double>(iter_max - 1);
+    for (std::uint32_t i = 0; i < iter_max; ++i) {
+        etas.push_back(eta_max * std::exp(-lambda * static_cast<double>(i)));
+    }
+    return etas;
+}
+
+}  // namespace pgl::core

@@ -1,0 +1,17 @@
+#pragma once
+// The SGD annealing schedule S of Alg. 1, adopted from Zheng, Pawar &
+// Goodman, "Graph drawing by stochastic gradient descent" (2018), as used by
+// odgi-layout: the learning rate decays exponentially from eta_max (set so
+// the weakest term moves in a single step) down to eps.
+#include <cstdint>
+#include <vector>
+
+namespace pgl::core {
+
+/// Builds the per-iteration learning-rate table.
+/// `max_dref` is the largest reference distance in the graph (longest path
+/// nucleotide length); term weights are w = 1/d^2, so eta_max = max_dref^2.
+std::vector<double> make_eta_schedule(std::uint32_t iter_max, double eps,
+                                      double max_dref);
+
+}  // namespace pgl::core

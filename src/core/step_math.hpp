@@ -1,0 +1,57 @@
+#pragma once
+// The arithmetic heart of one PG-SGD update (Alg. 1 lines 14-15): given the
+// two selected visualization points and their reference distance, move both
+// points against the gradient of stress = ((|vi - vj| - d_ref)/d_ref)^2.
+// Shared verbatim by the CPU engine, the GPU simulator and the tensor
+// implementation so all backends optimize the identical objective.
+#include <cmath>
+
+namespace pgl::core {
+
+struct PointDelta {
+    float dx_i, dy_i;  // displacement applied to v_i
+    float dx_j, dy_j;  // displacement applied to v_j
+    double stress;     // the term's stress value before the update
+};
+
+/// Computes the update for one term.
+/// `eta` is the current learning rate; the per-term weight is 1/d_ref^2 and
+/// the combined step size mu = eta * w is clamped to 1 as in Zheng et al.
+/// `nudge` must be a small nonzero value used to separate coincident points
+/// (callers draw it from their PRNG so behaviour stays deterministic).
+inline PointDelta sgd_term_update(float xi, float yi, float xj, float yj,
+                                  double d_ref, double eta,
+                                  double nudge) noexcept {
+    const double dx0 = static_cast<double>(xi) - xj;
+    const double dy0 = static_cast<double>(yi) - yj;
+    double dx = dx0;
+    double dy = dy0;
+    double mag = std::sqrt(dx * dx + dy * dy);
+    if (mag < 1e-9) {
+        // Coincident points: pick an arbitrary tiny separation so the
+        // gradient is defined (odgi does the same with a random direction).
+        dx = nudge;
+        dy = 0.0;
+        mag = std::abs(nudge);
+    }
+
+    const double w = 1.0 / (d_ref * d_ref);
+    double mu = eta * w;
+    if (mu > 1.0) mu = 1.0;
+
+    const double residual = (mag - d_ref) / d_ref;
+    const double delta = mu * (mag - d_ref) / 2.0;
+    const double r = delta / mag;
+    const double rx = r * dx;
+    const double ry = r * dy;
+
+    PointDelta out;
+    out.dx_i = static_cast<float>(-rx);
+    out.dy_i = static_cast<float>(-ry);
+    out.dx_j = static_cast<float>(rx);
+    out.dy_j = static_cast<float>(ry);
+    out.stress = residual * residual;
+    return out;
+}
+
+}  // namespace pgl::core

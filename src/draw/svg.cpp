@@ -1,0 +1,87 @@
+#include "draw/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace pgl::draw {
+
+namespace {
+
+struct Bounds {
+    float min_x = std::numeric_limits<float>::max();
+    float min_y = std::numeric_limits<float>::max();
+    float max_x = std::numeric_limits<float>::lowest();
+    float max_y = std::numeric_limits<float>::lowest();
+
+    void include(float x, float y) {
+        min_x = std::min(min_x, x);
+        min_y = std::min(min_y, y);
+        max_x = std::max(max_x, x);
+        max_y = std::max(max_y, y);
+    }
+};
+
+}  // namespace
+
+void write_svg(const graph::LeanGraph& g, const core::Layout& l,
+               std::ostream& out, const SvgOptions& opt) {
+    Bounds b;
+    for (std::size_t i = 0; i < l.size(); ++i) {
+        b.include(l.start_x[i], l.start_y[i]);
+        b.include(l.end_x[i], l.end_y[i]);
+    }
+    if (l.size() == 0) {
+        b = Bounds{0, 0, 1, 1};
+    }
+    const double span_x = std::max(1e-9, double(b.max_x) - b.min_x);
+    const double span_y = std::max(1e-9, double(b.max_y) - b.min_y);
+    const double usable_w = opt.width_px - 2 * opt.margin_px;
+    const double usable_h = opt.height_px - 2 * opt.margin_px;
+    const double s = std::min(usable_w / span_x, usable_h / span_y);
+
+    const auto px = [&](float x) { return opt.margin_px + (x - b.min_x) * s; };
+    const auto py = [&](float y) { return opt.margin_px + (y - b.min_y) * s; };
+
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opt.width_px
+        << "\" height=\"" << opt.height_px << "\">\n";
+    out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+    out << "<g stroke=\"" << opt.node_color << "\" stroke-width=\""
+        << opt.stroke_width << "\" stroke-linecap=\"round\">\n";
+    for (std::size_t i = 0; i < l.size(); ++i) {
+        out << "<line x1=\"" << px(l.start_x[i]) << "\" y1=\"" << py(l.start_y[i])
+            << "\" x2=\"" << px(l.end_x[i]) << "\" y2=\"" << py(l.end_y[i])
+            << "\"/>\n";
+    }
+    out << "</g>\n";
+
+    if (opt.highlight_path >= 0 &&
+        opt.highlight_path < static_cast<std::int64_t>(g.path_count())) {
+        const auto p = static_cast<std::uint32_t>(opt.highlight_path);
+        out << "<g stroke=\"" << opt.highlight_color << "\" stroke-width=\""
+            << opt.stroke_width * 1.5 << "\" fill=\"none\">\n<polyline points=\"";
+        for (std::uint32_t i = 0; i < g.path_step_count(p); ++i) {
+            const std::uint32_t node = g.step_node(p, i);
+            const bool rev = g.step_is_reverse(p, i);
+            const float x0 = rev ? l.end_x[node] : l.start_x[node];
+            const float y0 = rev ? l.end_y[node] : l.start_y[node];
+            const float x1 = rev ? l.start_x[node] : l.end_x[node];
+            const float y1 = rev ? l.start_y[node] : l.end_y[node];
+            out << px(x0) << ',' << py(y0) << ' ' << px(x1) << ',' << py(y1) << ' ';
+        }
+        out << "\"/>\n</g>\n";
+    }
+    out << "</svg>\n";
+}
+
+void write_svg_file(const graph::LeanGraph& g, const core::Layout& l,
+                    const std::string& path, const SvgOptions& opt) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open SVG file for write: " + path);
+    write_svg(g, l, out, opt);
+}
+
+}  // namespace pgl::draw

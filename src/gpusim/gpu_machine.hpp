@@ -1,0 +1,109 @@
+#pragma once
+// Functional + performance-model simulator of the paper's CUDA layout
+// kernel (Sec. V). The simulator stands in for real GPU hardware (see
+// DESIGN.md): it executes the PG-SGD updates for real (so the produced
+// layout has genuine, measurable quality) while modelling, at warp
+// granularity, the memory behaviour the paper's three optimizations target:
+//
+//  * per-warp memory requests are coalesced into 32 B sectors, so the
+//    AoS-vs-SoA organization of XORWOW states changes sectors/request
+//    exactly as in Fig. 10 (coalesced random states);
+//  * node/path data requests differ between the original SoA organization
+//    and the cache-friendly AoS records of Fig. 9 (cache-friendly layout);
+//  * the cooling/non-cooling branch is taken per lane or per warp,
+//    re-executing divergent regions per side as real warps do (warp
+//    merging, Fig. 11);
+//  * each SM owns a sectored L1, all SMs share the L2, and L2 misses count
+//    as DRAM sectors.
+//
+// The counters feed a latency-bound time model (memory stalls dominated,
+// instruction term mostly hidden) whose absolute scale is calibrated but
+// whose *relative* outcomes — the Fig. 16 ladder, Tables IX-XI, the Fig. 17
+// DSE, and the A6000/A100 gap — are produced by the simulated counters.
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/layout.hpp"
+#include "gpusim/gpu_spec.hpp"
+#include "graph/lean_graph.hpp"
+
+namespace pgl::gpusim {
+
+/// Which of the paper's kernel optimizations are enabled, plus the data
+/// reuse scheme of the Sec. VII-D case study.
+struct KernelConfig {
+    bool cache_friendly_layout = false;  ///< CDL  (Sec. V-B1)
+    bool coalesced_rng = false;          ///< CRS  (Sec. V-B2)
+    bool warp_merge = false;             ///< WM   (Sec. V-B3)
+
+    std::uint32_t data_reuse_factor = 1;   ///< DRF (Fig. 17); 1 = off
+    double step_reduction_factor = 1.0;    ///< SRF (Fig. 17); 1 = off
+
+    static KernelConfig base() { return {}; }
+    static KernelConfig optimized() {
+        KernelConfig k;
+        k.cache_friendly_layout = true;
+        k.coalesced_rng = true;
+        k.warp_merge = true;
+        return k;
+    }
+};
+
+struct GpuCounters {
+    std::uint64_t lane_updates = 0;      ///< functional updates applied
+    std::uint64_t warp_steps = 0;        ///< warp-level update steps
+    std::uint64_t kernel_launches = 0;
+
+    // Instruction / divergence accounting (Table XI).
+    double executed_warp_instructions = 0.0;
+    double active_thread_instruction_sum = 0.0;  ///< sum(active x instr)
+
+    // Memory accounting (Tables IX, X). Only a 1-in-N sample of warp steps
+    // is fed through the cache model; these values are scaled back up.
+    double l1_requests = 0.0;
+    double l1_sectors = 0.0;
+    double l2_sectors = 0.0;    ///< sectors that missed L1
+    double dram_sectors = 0.0;  ///< sectors that missed L2
+
+    double avg_active_threads() const {
+        return executed_warp_instructions > 0
+                   ? active_thread_instruction_sum / executed_warp_instructions
+                   : 0.0;
+    }
+    double sectors_per_request() const {
+        return l1_requests > 0 ? l1_sectors / l1_requests : 0.0;
+    }
+    double l1_bytes() const { return l1_sectors * 32.0; }
+    double l2_bytes() const { return l2_sectors * 32.0; }
+    double dram_bytes() const { return dram_sectors * 32.0; }
+};
+
+struct GpuSimResult {
+    core::Layout layout;
+    GpuCounters counters;
+    double modeled_seconds = 0.0;  ///< time model output for the full run
+    double sim_wall_seconds = 0.0; ///< host time spent simulating
+};
+
+struct SimOptions {
+    /// Feed every Nth warp step through the cache/counter model (functional
+    /// updates always run). 1 = model everything.
+    std::uint32_t counter_sample_period = 8;
+    /// Scale the GPU cache capacities along with the graph scale so the
+    /// working-set-to-cache ratio matches full-scale behaviour (same idea
+    /// as memsim's llc_scale).
+    double cache_scale = 1.0;
+};
+
+/// Runs the simulated kernel for the whole PG-SGD schedule and returns the
+/// final layout plus counters and modeled time.
+GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
+                                 const core::LayoutConfig& cfg,
+                                 const KernelConfig& kernel, const GpuSpec& spec,
+                                 const SimOptions& opt = {});
+
+/// The time model, exposed for tests: combines the latency-weighted memory
+/// term with the (mostly hidden) instruction term and launch overhead.
+double model_time_seconds(const GpuCounters& c, const GpuSpec& spec);
+
+}  // namespace pgl::gpusim

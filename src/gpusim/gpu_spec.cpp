@@ -1,0 +1,39 @@
+#include "gpusim/gpu_spec.hpp"
+
+namespace pgl::gpusim {
+
+GpuSpec rtx_a6000() {
+    GpuSpec s;
+    s.name = "RTX A6000";
+    s.sm_count = 84;
+    s.warps_per_sm = 16;
+    s.core_clock_ghz = 1.80;
+    s.dram_gbps = 768.0;
+    s.l1_bytes_per_sm = 128 * 1024;
+    s.l2_bytes = 6ULL * 1024 * 1024;
+    s.lat_l1 = 2.0;
+    s.lat_l2 = 5.0;
+    s.lat_dram = 23.0;
+    s.effective_parallel_lanes = 100.0;
+    s.ipc_per_sm = 0.12;
+    return s;
+}
+
+GpuSpec a100() {
+    GpuSpec s;
+    s.name = "A100";
+    s.sm_count = 108;
+    s.warps_per_sm = 16;
+    s.core_clock_ghz = 1.41;
+    s.dram_gbps = 1555.0;
+    s.l1_bytes_per_sm = 192 * 1024;
+    s.l2_bytes = 40ULL * 1024 * 1024;
+    s.lat_l1 = 1.2;
+    s.lat_l2 = 2.4;
+    s.lat_dram = 8.0;
+    s.effective_parallel_lanes = 100.0;
+    s.ipc_per_sm = 0.18;
+    return s;
+}
+
+}  // namespace pgl::gpusim

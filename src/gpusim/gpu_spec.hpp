@@ -1,0 +1,49 @@
+#pragma once
+// GPU machine descriptions for the performance model. Architectural numbers
+// (SMs, caches, bandwidth, clock) are the published specs of the paper's two
+// evaluation GPUs; the latency / overlap entries are calibration constants
+// of the latency-bound time model (see gpusim/gpu_machine.hpp and
+// EXPERIMENTS.md): they set the absolute time scale, while all *relative*
+// effects (the optimization ladder, DSE schemes, A6000-vs-A100 cache
+// behaviour) emerge from the simulated counters.
+#include <cstdint>
+#include <string>
+
+namespace pgl::gpusim {
+
+struct GpuSpec {
+    std::string name;
+    std::uint32_t sm_count = 84;
+    std::uint32_t warp_size = 32;
+    std::uint32_t warps_per_sm = 16;  ///< resident warps simulated per SM
+    double core_clock_ghz = 1.8;
+    double dram_gbps = 768.0;
+    std::uint64_t l1_bytes_per_sm = 128 * 1024;
+    std::uint64_t l2_bytes = 6ULL * 1024 * 1024;
+    std::uint32_t sector_bytes = 32;  ///< memory transaction granularity
+    double launch_overhead_us = 5.0;  ///< per CUDA kernel launch
+
+    // Amortized cost model (core cycles per sector touch at each level,
+    // already discounted by typical memory-level parallelism; NOT raw
+    // latencies).
+    double lat_l1 = 2.0;
+    double lat_l2 = 5.0;
+    double lat_dram = 23.0;
+
+    /// Effective number of concurrently-overlapped lanes for this
+    /// latency-bound, irregular workload (calibrated; much smaller than the
+    /// theoretical resident-lane count because of scoreboard stalls).
+    double effective_parallel_lanes = 100.0;
+
+    /// Achieved warp-instruction throughput (warp-instructions / cycle /
+    /// SM) for this latency-bound kernel — a small fraction of peak issue.
+    double ipc_per_sm = 0.12;
+};
+
+/// NVIDIA RTX A6000 (GA102): 84 SMs, 768 GB/s GDDR6, 6 MB L2.
+GpuSpec rtx_a6000();
+
+/// NVIDIA A100 (GA100, 80 GB SXM): 108 SMs, 1555 GB/s HBM2e, 40 MB L2.
+GpuSpec a100();
+
+}  // namespace pgl::gpusim

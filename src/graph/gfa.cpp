@@ -1,0 +1,158 @@
+#include "graph/gfa.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pgl::graph {
+
+namespace {
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    while (start <= line.size()) {
+        const std::size_t tab = line.find('\t', start);
+        if (tab == std::string_view::npos) {
+            fields.push_back(line.substr(start));
+            break;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+    return fields;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+    std::ostringstream os;
+    os << "GFA parse error at line " << line_no << ": " << what;
+    throw std::runtime_error(os.str());
+}
+
+struct PendingLink {
+    std::string from, to;
+    bool from_rev, to_rev;
+    std::size_t line_no;
+};
+
+struct PendingPath {
+    std::string name;
+    std::string steps;  // raw comma-separated field
+    std::size_t line_no;
+};
+
+}  // namespace
+
+VariationGraph read_gfa(std::istream& in) {
+    VariationGraph g;
+    std::unordered_map<std::string, NodeId> name_to_id;
+    std::vector<PendingLink> links;
+    std::vector<PendingPath> paths;
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        const auto fields = split_tabs(line);
+        switch (line[0]) {
+            case 'S': {
+                if (fields.size() < 3) fail(line_no, "S record needs 3 fields");
+                const std::string name(fields[1]);
+                if (name_to_id.contains(name)) fail(line_no, "duplicate segment " + name);
+                std::string seq(fields[2]);
+                if (seq == "*") seq.clear();
+                name_to_id.emplace(name, g.add_node(std::move(seq)));
+                break;
+            }
+            case 'L': {
+                if (fields.size() < 5) fail(line_no, "L record needs 5 fields");
+                if (fields[2] != "+" && fields[2] != "-") fail(line_no, "bad orientation");
+                if (fields[4] != "+" && fields[4] != "-") fail(line_no, "bad orientation");
+                links.push_back(PendingLink{std::string(fields[1]), std::string(fields[3]),
+                                            fields[2] == "-", fields[4] == "-", line_no});
+                break;
+            }
+            case 'P': {
+                if (fields.size() < 3) fail(line_no, "P record needs 3 fields");
+                paths.push_back(
+                    PendingPath{std::string(fields[1]), std::string(fields[2]), line_no});
+                break;
+            }
+            default:
+                break;  // H, C, W and friends are not needed for layout
+        }
+    }
+
+    const auto lookup = [&](const std::string& name, std::size_t at) -> NodeId {
+        const auto it = name_to_id.find(name);
+        if (it == name_to_id.end()) fail(at, "unknown segment " + name);
+        return it->second;
+    };
+
+    for (const PendingLink& l : links) {
+        g.add_edge(Handle::make(lookup(l.from, l.line_no), l.from_rev),
+                   Handle::make(lookup(l.to, l.line_no), l.to_rev));
+    }
+
+    for (PendingPath& p : paths) {
+        std::vector<Handle> steps;
+        std::string_view sv(p.steps);
+        std::size_t start = 0;
+        while (start < sv.size()) {
+            std::size_t comma = sv.find(',', start);
+            if (comma == std::string_view::npos) comma = sv.size();
+            const std::string_view tok = sv.substr(start, comma - start);
+            if (tok.size() < 2) fail(p.line_no, "bad path step");
+            const char orient = tok.back();
+            if (orient != '+' && orient != '-') fail(p.line_no, "bad step orientation");
+            const std::string name(tok.substr(0, tok.size() - 1));
+            steps.push_back(Handle::make(lookup(name, p.line_no), orient == '-'));
+            start = comma + 1;
+        }
+        if (steps.empty()) fail(p.line_no, "empty path " + p.name);
+        g.add_path(std::move(p.name), std::move(steps));
+    }
+    return g;
+}
+
+VariationGraph read_gfa_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open GFA file: " + path);
+    return read_gfa(in);
+}
+
+void write_gfa(const VariationGraph& g, std::ostream& out) {
+    out << "H\tVN:Z:1.0\n";
+    for (NodeId id = 0; id < g.node_count(); ++id) {
+        const auto seq = g.sequence(id);
+        out << "S\t" << (id + 1) << '\t' << (seq.empty() ? "*" : std::string(seq))
+            << '\n';
+    }
+    for (const Edge& e : g.edges()) {
+        out << "L\t" << (e.from.id() + 1) << '\t' << (e.from.is_reverse() ? '-' : '+')
+            << '\t' << (e.to.id() + 1) << '\t' << (e.to.is_reverse() ? '-' : '+')
+            << "\t0M\n";
+    }
+    for (const PathRecord& p : g.paths()) {
+        out << "P\t" << p.name << '\t';
+        for (std::size_t i = 0; i < p.steps.size(); ++i) {
+            if (i) out << ',';
+            out << (p.steps[i].id() + 1) << (p.steps[i].is_reverse() ? '-' : '+');
+        }
+        out << "\t*\n";
+    }
+}
+
+void write_gfa_file(const VariationGraph& g, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open GFA file for write: " + path);
+    write_gfa(g, out);
+}
+
+}  // namespace pgl::graph

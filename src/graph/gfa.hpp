@@ -1,0 +1,25 @@
+#pragma once
+// GFA v1 reader/writer for variation graphs — the interchange format of the
+// pangenome toolchain (odgi, vg, pggb). Supports S (segment), L (link) and
+// P (path) records, which is everything the layout pipeline consumes.
+#include <iosfwd>
+#include <string>
+
+#include "graph/variation_graph.hpp"
+
+namespace pgl::graph {
+
+/// Parses GFA v1 from a stream. Throws std::runtime_error on malformed
+/// input. Unknown record types (H, C, W, ...) are skipped.
+VariationGraph read_gfa(std::istream& in);
+
+/// Convenience overload reading from a file path.
+VariationGraph read_gfa_file(const std::string& path);
+
+/// Writes GFA v1; segments are named 1..N (GFA ids are 1-based by
+/// convention), links use overlap 0M, paths use '*' overlaps.
+void write_gfa(const VariationGraph& g, std::ostream& out);
+
+void write_gfa_file(const VariationGraph& g, const std::string& path);
+
+}  // namespace pgl::graph

@@ -1,0 +1,89 @@
+#pragma once
+// Oriented node handles, following the libhandlegraph/ODGI convention of
+// packing (node id, orientation) into one machine word.
+#include <cstdint>
+#include <functional>
+
+namespace pgl::graph {
+
+using NodeId = std::uint32_t;
+
+/// An oriented reference to a node: bit 0 holds the orientation (1 =
+/// reverse complement), the remaining bits hold the node id.
+class Handle {
+public:
+    constexpr Handle() = default;
+
+    static constexpr Handle make(NodeId id, bool is_reverse) noexcept {
+        Handle h;
+        h.packed_ = (static_cast<std::uint32_t>(id) << 1) |
+                    static_cast<std::uint32_t>(is_reverse);
+        return h;
+    }
+
+    static constexpr Handle forward(NodeId id) noexcept { return make(id, false); }
+    static constexpr Handle reverse(NodeId id) noexcept { return make(id, true); }
+
+    constexpr NodeId id() const noexcept { return packed_ >> 1; }
+    constexpr bool is_reverse() const noexcept { return (packed_ & 1u) != 0; }
+    constexpr Handle flipped() const noexcept {
+        Handle h;
+        h.packed_ = packed_ ^ 1u;
+        return h;
+    }
+
+    constexpr std::uint32_t packed() const noexcept { return packed_; }
+    static constexpr Handle from_packed(std::uint32_t p) noexcept {
+        Handle h;
+        h.packed_ = p;
+        return h;
+    }
+
+    constexpr bool operator==(const Handle&) const noexcept = default;
+    constexpr auto operator<=>(const Handle&) const noexcept = default;
+
+private:
+    std::uint32_t packed_ = 0;
+};
+
+/// An edge is an ordered pair of handles (traversal from first to second).
+struct Edge {
+    Handle from;
+    Handle to;
+
+    constexpr bool operator==(const Edge&) const noexcept = default;
+    constexpr auto operator<=>(const Edge&) const noexcept = default;
+
+    /// Edges are stored in a canonical orientation so that (a->b) and the
+    /// implied reverse traversal (b'->a') are the same edge, as in ODGI.
+    constexpr Edge canonical() const noexcept {
+        const Edge rev{to.flipped(), from.flipped()};
+        const auto key = [](const Edge& e) {
+            return (static_cast<std::uint64_t>(e.from.packed()) << 32) |
+                   e.to.packed();
+        };
+        return key(*this) <= key(rev) ? *this : rev;
+    }
+};
+
+}  // namespace pgl::graph
+
+template <>
+struct std::hash<pgl::graph::Handle> {
+    std::size_t operator()(const pgl::graph::Handle& h) const noexcept {
+        return std::hash<std::uint32_t>{}(h.packed());
+    }
+};
+
+template <>
+struct std::hash<pgl::graph::Edge> {
+    std::size_t operator()(const pgl::graph::Edge& e) const noexcept {
+        const std::uint64_t k =
+            (static_cast<std::uint64_t>(e.from.packed()) << 32) | e.to.packed();
+        // SplitMix64-style finalizer.
+        std::uint64_t z = k + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+};

@@ -1,0 +1,42 @@
+#include "graph/lean_graph.hpp"
+
+#include <algorithm>
+
+namespace pgl::graph {
+
+LeanGraph LeanGraph::from_graph(const VariationGraph& g) {
+    LeanGraph lg;
+    lg.node_len_.resize(g.node_count());
+    for (NodeId id = 0; id < g.node_count(); ++id) {
+        lg.node_len_[id] = g.node_length(id);
+    }
+
+    const std::uint64_t total_steps = g.total_path_steps();
+    lg.path_offset_.reserve(g.path_count() + 1);
+    lg.step_node_.reserve(total_steps);
+    lg.step_pos_.reserve(total_steps);
+    lg.step_orient_.reserve(total_steps);
+    lg.step_records_.reserve(total_steps);
+    lg.path_nuc_len_.reserve(g.path_count());
+
+    lg.path_offset_.push_back(0);
+    for (const PathRecord& p : g.paths()) {
+        std::uint64_t pos = 0;
+        for (const Handle& h : p.steps) {
+            const std::uint32_t len = lg.node_len_[h.id()];
+            lg.step_node_.push_back(h.id());
+            lg.step_pos_.push_back(pos);
+            lg.step_orient_.push_back(h.is_reverse() ? 1 : 0);
+            lg.step_records_.push_back(
+                PathStepRecord{h.id(), h.is_reverse() ? 1u : 0u, pos});
+            pos += len;
+        }
+        lg.path_offset_.push_back(static_cast<std::uint32_t>(lg.step_node_.size()));
+        lg.path_nuc_len_.push_back(pos);
+        lg.total_path_nuc_ += pos;
+        lg.max_path_nuc_len_ = std::max(lg.max_path_nuc_len_, pos);
+    }
+    return lg;
+}
+
+}  // namespace pgl::graph

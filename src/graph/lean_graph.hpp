@@ -1,0 +1,102 @@
+#pragma once
+// The lean, layout-only distillation of a variation graph (paper Sec. V-A):
+// only the fields PG-SGD touches survive — node lengths (never sequence
+// content) and, per path step, the node id, orientation and nucleotide
+// offset within the path. This doubles as the path index (the ".xp" file of
+// the odgi pipeline): reference distances d_ref are differences of the
+// per-step nucleotide positions stored here.
+//
+// Two physical layouts of the step records are provided because the paper's
+// first optimization (cache-friendly data layout, Sec. V-B1) is exactly the
+// SoA -> AoS repacking of this data:
+//   * SoA ("original"): three parallel arrays (node, position, orientation);
+//   * AoS ("cache-friendly"): one packed 16-byte record per step.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/variation_graph.hpp"
+
+namespace pgl::graph {
+
+/// Packed per-step record for the AoS (cache-friendly) layout.
+/// 16 bytes: a whole record fits in a quarter cache line, so one access
+/// fetches everything an update step needs about the step.
+struct PathStepRecord {
+    std::uint32_t node;      ///< node id
+    std::uint32_t orient;    ///< 0 = forward, 1 = reverse
+    std::uint64_t position;  ///< nucleotide offset of this step in its path
+};
+
+static_assert(sizeof(PathStepRecord) == 16);
+
+class LeanGraph {
+public:
+    static LeanGraph from_graph(const VariationGraph& g);
+
+    std::uint32_t node_count() const noexcept {
+        return static_cast<std::uint32_t>(node_len_.size());
+    }
+    std::uint32_t path_count() const noexcept {
+        return static_cast<std::uint32_t>(path_offset_.size() - 1);
+    }
+
+    std::uint32_t node_length(NodeId id) const { return node_len_[id]; }
+    std::span<const std::uint32_t> node_lengths() const noexcept { return node_len_; }
+
+    /// Number of steps in path p.
+    std::uint32_t path_step_count(std::uint32_t p) const {
+        return path_offset_[p + 1] - path_offset_[p];
+    }
+    /// Nucleotide length of path p.
+    std::uint64_t path_nuc_length(std::uint64_t p) const { return path_nuc_len_[p]; }
+
+    std::uint64_t total_path_steps() const noexcept { return step_node_.size(); }
+    std::uint64_t total_path_nucleotides() const noexcept { return total_path_nuc_; }
+
+    /// Longest reference distance appearing in any path (used to scale the
+    /// SGD learning-rate schedule).
+    std::uint64_t max_path_nuc_length() const noexcept { return max_path_nuc_len_; }
+
+    // --- SoA accessors (original ODGI-style layout) ---
+    std::uint32_t step_node(std::uint32_t p, std::uint32_t i) const {
+        return step_node_[path_offset_[p] + i];
+    }
+    std::uint64_t step_position(std::uint32_t p, std::uint32_t i) const {
+        return step_pos_[path_offset_[p] + i];
+    }
+    bool step_is_reverse(std::uint32_t p, std::uint32_t i) const {
+        return step_orient_[path_offset_[p] + i] != 0;
+    }
+
+    // --- AoS accessor (cache-friendly layout) ---
+    const PathStepRecord& step_record(std::uint32_t p, std::uint32_t i) const {
+        return step_records_[path_offset_[p] + i];
+    }
+
+    /// Flat index of step i of path p (for address-stream instrumentation).
+    std::uint64_t flat_step_index(std::uint32_t p, std::uint32_t i) const {
+        return path_offset_[p] + i;
+    }
+
+    std::span<const std::uint32_t> path_offsets() const noexcept { return path_offset_; }
+    std::span<const PathStepRecord> step_records() const noexcept {
+        return step_records_;
+    }
+
+private:
+    std::vector<std::uint32_t> node_len_;
+
+    // CSR-style flattened paths.
+    std::vector<std::uint32_t> path_offset_;  // size P + 1
+    std::vector<std::uint32_t> step_node_;    // SoA
+    std::vector<std::uint64_t> step_pos_;     // SoA
+    std::vector<std::uint8_t> step_orient_;   // SoA
+    std::vector<PathStepRecord> step_records_;  // AoS mirror
+
+    std::vector<std::uint64_t> path_nuc_len_;
+    std::uint64_t total_path_nuc_ = 0;
+    std::uint64_t max_path_nuc_len_ = 0;
+};
+
+}  // namespace pgl::graph

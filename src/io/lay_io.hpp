@@ -1,0 +1,20 @@
+#pragma once
+// Binary layout serialization — the equivalent of odgi's ".lay" files used
+// by the paper's artifact to ship pre-generated CPU/GPU layouts.
+// Format: magic "PGLAY001", u64 node count, then the four coordinate
+// arrays (start_x, start_y, end_x, end_y) as little-endian float32.
+#include <iosfwd>
+#include <string>
+
+#include "core/layout.hpp"
+
+namespace pgl::io {
+
+void write_layout(const core::Layout& l, std::ostream& out);
+void write_layout_file(const core::Layout& l, const std::string& path);
+
+/// Throws std::runtime_error on bad magic or truncated data.
+core::Layout read_layout(std::istream& in);
+core::Layout read_layout_file(const std::string& path);
+
+}  // namespace pgl::io

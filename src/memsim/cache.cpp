@@ -1,0 +1,103 @@
+#include "memsim/cache.hpp"
+
+#include <cassert>
+
+namespace pgl::memsim {
+
+namespace {
+constexpr bool is_pow2(std::uint64_t v) { return v && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+    assert(is_pow2(cfg.line_bytes));
+    assert(cfg.ways > 0);
+    const std::uint64_t lines = cfg.size_bytes / cfg.line_bytes;
+    n_sets_ = static_cast<std::uint32_t>(lines / cfg.ways);
+    if (n_sets_ == 0) n_sets_ = 1;
+    ways_.assign(static_cast<std::size_t>(n_sets_) * cfg.ways, Way{});
+}
+
+bool Cache::access_line(std::uint64_t line_addr) {
+    ++stats_.accesses;
+    ++tick_;
+    const std::uint64_t set = line_addr % n_sets_;
+    Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+    Way* victim = base;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        Way& way = base[w];
+        if (way.valid && way.tag == line_addr) {
+            way.lru = tick_;
+            ++stats_.hits;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+    ++stats_.misses;
+    victim->tag = line_addr;
+    victim->valid = true;
+    victim->lru = tick_;
+    return false;
+}
+
+std::uint32_t Cache::access(std::uint64_t addr, std::uint32_t bytes) {
+    const std::uint64_t first = addr / cfg_.line_bytes;
+    const std::uint64_t last = (addr + (bytes ? bytes - 1 : 0)) / cfg_.line_bytes;
+    std::uint32_t misses = 0;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        if (!access_line(line)) ++misses;
+    }
+    return misses;
+}
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig>& levels) {
+    assert(!levels.empty());
+    levels_.reserve(levels.size());
+    for (const auto& cfg : levels) levels_.emplace_back(cfg);
+}
+
+void CacheHierarchy::access(std::uint64_t addr, std::uint32_t bytes) {
+    // Probe L1 line by line; misses ripple to the next level.
+    const std::uint32_t l1_line = levels_[0].line_bytes();
+    const std::uint64_t first = addr / l1_line;
+    const std::uint64_t last = (addr + (bytes ? bytes - 1 : 0)) / l1_line;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        bool hit = levels_[0].access_line(line);
+        const std::uint64_t byte_addr = line * l1_line;
+        for (std::size_t lvl = 1; !hit && lvl < levels_.size(); ++lvl) {
+            hit = levels_[lvl].access_line(byte_addr / levels_[lvl].line_bytes());
+        }
+        if (!hit) {
+            ++dram_accesses_;
+            dram_bytes_ += levels_.back().line_bytes();
+        }
+    }
+}
+
+void CacheHierarchy::reset_stats() {
+    for (auto& l : levels_) l.reset_stats();
+    dram_accesses_ = 0;
+    dram_bytes_ = 0;
+}
+
+std::vector<CacheConfig> xeon_6246r_hierarchy(double llc_scale) {
+    const auto scaled = [&](std::uint64_t bytes) {
+        const double v = static_cast<double>(bytes) * llc_scale;
+        std::uint64_t out = static_cast<std::uint64_t>(v);
+        if (out < 4096) out = 4096;
+        // Round to a power-of-two line multiple for set math.
+        std::uint64_t p = 4096;
+        while (p * 2 <= out) p *= 2;
+        return p;
+    };
+    return {
+        CacheConfig{scaled(32 * 1024), 64, 8},           // L1D per core
+        CacheConfig{scaled(1024 * 1024), 64, 16},        // L2 per core
+        CacheConfig{scaled(35ULL * 1024 * 1024 + 768 * 1024), 64, 11},  // LLC
+    };
+}
+
+}  // namespace pgl::memsim

@@ -1,0 +1,39 @@
+#pragma once
+// Layout-quality metrics (paper Sec. VI).
+//
+//  * path stress (Eq. 1): the mean, over every pair of steps that share a
+//    path, of the stress of that pair — where a pair's stress averages the
+//    four start/end endpoint combinations. Quadratic in path length; only
+//    feasible for small graphs (Table V).
+//  * sampled path stress (Eq. 2): draws n = samples_per_step * |p| random
+//    step pairs per path and reports the sample mean together with its 95%
+//    confidence interval (CLT), making quality evaluation linear-time and
+//    usable on chromosome-scale graphs.
+#include <cstdint>
+
+#include "core/layout.hpp"
+#include "graph/lean_graph.hpp"
+
+namespace pgl::metrics {
+
+struct StressResult {
+    double value = 0.0;      ///< mean stress
+    double ci_low = 0.0;     ///< 95% confidence interval (sampled only)
+    double ci_high = 0.0;
+    std::uint64_t terms = 0; ///< stress terms accumulated
+    double seconds = 0.0;    ///< wall-clock time of the computation
+};
+
+/// Exact path stress per Eq. 1. `threads` parallelizes over paths.
+StressResult path_stress(const graph::LeanGraph& g, const core::Layout& l,
+                         std::uint32_t threads = 1);
+
+/// Sampled path stress per Eq. 2 with CI95. Default samples_per_step = 100
+/// matches the paper ("each node is expected to be sampled 100 times within
+/// its path"). Deterministic for a fixed seed.
+StressResult sampled_path_stress(const graph::LeanGraph& g, const core::Layout& l,
+                                 double samples_per_step = 100.0,
+                                 std::uint64_t seed = 42,
+                                 std::uint32_t threads = 1);
+
+}  // namespace pgl::metrics

@@ -1,0 +1,76 @@
+#pragma once
+// Walker/Vose alias table for O(1) weighted discrete sampling. PG-SGD picks
+// a path with probability proportional to its step count (Alg. 1 line 5);
+// with thousands of paths per chromosome graph this must be constant-time.
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pgl::rng {
+
+class AliasTable {
+public:
+    AliasTable() = default;
+
+    explicit AliasTable(std::span<const double> weights) { build(weights); }
+
+    void build(std::span<const double> weights) {
+        const std::size_t n = weights.size();
+        assert(n > 0);
+        prob_.assign(n, 0.0);
+        alias_.assign(n, 0);
+
+        double total = 0.0;
+        for (double w : weights) {
+            assert(w >= 0.0);
+            total += w;
+        }
+        assert(total > 0.0);
+
+        // Scale so the average bucket holds probability exactly 1.
+        std::vector<double> scaled(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            scaled[i] = weights[i] * static_cast<double>(n) / total;
+        }
+
+        std::vector<std::uint32_t> small, large;
+        small.reserve(n);
+        large.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+        }
+
+        while (!small.empty() && !large.empty()) {
+            const std::uint32_t s = small.back();
+            small.pop_back();
+            const std::uint32_t l = large.back();
+            large.pop_back();
+            prob_[s] = scaled[s];
+            alias_[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            (scaled[l] < 1.0 ? small : large).push_back(l);
+        }
+        // Numerical leftovers all saturate to probability 1.
+        for (std::uint32_t i : large) prob_[i] = 1.0;
+        for (std::uint32_t i : small) prob_[i] = 1.0;
+    }
+
+    std::size_t size() const noexcept { return prob_.size(); }
+    bool empty() const noexcept { return prob_.empty(); }
+
+    /// Draw an index in [0, size()); `Rng` provides next_double() and
+    /// next_bounded().
+    template <typename Rng>
+    std::uint32_t operator()(Rng& rng) const {
+        const std::uint32_t i =
+            static_cast<std::uint32_t>(rng.next_bounded(prob_.size()));
+        return rng.next_double() < prob_[i] ? i : alias_[i];
+    }
+
+private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace pgl::rng

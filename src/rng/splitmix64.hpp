@@ -1,0 +1,31 @@
+#pragma once
+// SplitMix64 — the canonical seeding generator (Steele, Lea & Flood, 2014).
+// Used here to expand a single 64-bit seed into full generator states for
+// Xoshiro256+ and XORWOW, exactly as odgi and cuRAND do.
+#include <cstdint>
+
+namespace pgl::rng {
+
+class SplitMix64 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    constexpr std::uint64_t operator()() noexcept { return next(); }
+
+    static constexpr std::uint64_t min() noexcept { return 0; }
+    static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace pgl::rng

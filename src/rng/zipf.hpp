@@ -1,0 +1,71 @@
+#pragma once
+// Power-law (Zipfian) node-hop sampler used by the PG-SGD cooling branch
+// (Alg. 1 line 8). odgi-layout draws the hop distance between the two nodes
+// of a pair from a Zipf distribution so that refinement concentrates on
+// nearby nodes while still occasionally touching distant ones.
+//
+// Implementation: rejection-inversion sampling after W. Hörmann &
+// G. Derflinger, "Rejection-inversion to generate variates from monotone
+// discrete distributions" (1996) — O(1) per draw, no per-N table.
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace pgl::rng {
+
+/// Samples k in [1, n] with P(k) proportional to 1 / k^theta.
+class ZipfSampler {
+public:
+    ZipfSampler(std::uint64_t n, double theta) { reset(n, theta); }
+
+    void reset(std::uint64_t n, double theta) {
+        assert(n >= 1);
+        assert(theta > 0.0);
+        n_ = n;
+        theta_ = theta;
+        const double nd = static_cast<double>(n);
+        h_x1_ = h(1.5) - 1.0;
+        h_n_ = h(nd + 0.5);
+        s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -theta_));
+    }
+
+    std::uint64_t n() const noexcept { return n_; }
+    double theta() const noexcept { return theta_; }
+
+    /// Draw one variate; `Rng` provides next_double() in [0,1).
+    template <typename Rng>
+    std::uint64_t operator()(Rng& rng) const {
+        if (n_ == 1) return 1;
+        for (;;) {
+            const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+            const double x = h_inv(u);
+            std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+            if (k < 1) k = 1;
+            if (k > n_) k = n_;
+            const double kd = static_cast<double>(k);
+            if (kd - x <= s_ || u >= h(kd + 0.5) - std::pow(kd, -theta_)) {
+                return k;
+            }
+        }
+    }
+
+private:
+    // H(x) = integral of x^-theta; two analytic forms split at theta == 1.
+    double h(double x) const {
+        if (theta_ == 1.0) return std::log(x);
+        return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+    }
+
+    double h_inv(double x) const {
+        if (theta_ == 1.0) return std::exp(x);
+        return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+    }
+
+    std::uint64_t n_ = 1;
+    double theta_ = 0.99;
+    double h_x1_ = 0.0;
+    double h_n_ = 0.0;
+    double s_ = 0.0;
+};
+
+}  // namespace pgl::rng

@@ -1,0 +1,155 @@
+#include "tensor/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pgl::tensor {
+
+void KernelProfiler::record(const std::string& kernel, std::size_t elements) {
+    ++launches_;
+    const double sec = static_cast<double>(elements) * rate_ns(kernel) * 1e-9;
+    kernel_seconds_ += sec;
+    per_kernel_[kernel] += sec;
+    per_kernel_count_[kernel] += 1;
+}
+
+double KernelProfiler::rate_ns(const std::string& kernel) const {
+    if (kernel == "index") {
+        const double footprint = cost_.coord_bytes_override > 0
+                                     ? cost_.coord_bytes_override
+                                     : gather_footprint_bytes_;
+        const bool spills = footprint > cost_.l2_bytes;
+        return cost_.ns_index * (spills ? cost_.spill_index_multiplier : 1.0);
+    }
+    if (kernel == "pow") return cost_.ns_pow;
+    if (kernel == "mul") return cost_.ns_mul;
+    if (kernel == "where") return cost_.ns_where;
+    if (kernel == "add") return cost_.ns_add;
+    if (kernel == "sub") return cost_.ns_sub;
+    if (kernel == "sqrt") return cost_.ns_sqrt;
+    if (kernel == "div") return cost_.ns_div;
+    if (kernel == "reduction") return cost_.ns_reduction;
+    if (kernel == "rand") return cost_.ns_rand;
+    return 1.0;
+}
+
+void KernelProfiler::reset() {
+    launches_ = 0;
+    kernel_seconds_ = 0.0;
+    per_kernel_.clear();
+    per_kernel_count_.clear();
+}
+
+Tensor index_select(const Tensor& src, std::span<const std::uint32_t> idx,
+                    KernelProfiler& prof) {
+    Tensor out(idx.size());
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+        assert(idx[k] < src.size());
+        out[k] = src[idx[k]];
+    }
+    prof.record("index", idx.size());
+    return out;
+}
+
+void index_add(Tensor& dst, std::span<const std::uint32_t> idx, const Tensor& val,
+               KernelProfiler& prof) {
+    assert(idx.size() == val.size());
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+        assert(idx[k] < dst.size());
+        dst[idx[k]] += val[k];
+    }
+    prof.record("index", idx.size());
+}
+
+void index_put(Tensor& dst, std::span<const std::uint32_t> idx, const Tensor& val,
+               KernelProfiler& prof) {
+    assert(idx.size() == val.size());
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+        assert(idx[k] < dst.size());
+        dst[idx[k]] = val[k];
+    }
+    prof.record("index", idx.size());
+}
+
+namespace {
+template <typename Fn>
+Tensor binary_op(const Tensor& a, const Tensor& b, const char* name,
+                 KernelProfiler& prof, Fn&& fn) {
+    assert(a.size() == b.size());
+    Tensor out(a.size());
+    for (std::size_t k = 0; k < a.size(); ++k) out[k] = fn(a[k], b[k]);
+    prof.record(name, a.size());
+    return out;
+}
+}  // namespace
+
+Tensor sub(const Tensor& a, const Tensor& b, KernelProfiler& prof) {
+    return binary_op(a, b, "sub", prof, [](float x, float y) { return x - y; });
+}
+
+Tensor add(const Tensor& a, const Tensor& b, KernelProfiler& prof) {
+    return binary_op(a, b, "add", prof, [](float x, float y) { return x + y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b, KernelProfiler& prof) {
+    return binary_op(a, b, "mul", prof, [](float x, float y) { return x * y; });
+}
+
+Tensor mul_scalar(const Tensor& a, float s, KernelProfiler& prof) {
+    Tensor out(a.size());
+    for (std::size_t k = 0; k < a.size(); ++k) out[k] = a[k] * s;
+    prof.record("mul", a.size());
+    return out;
+}
+
+Tensor div(const Tensor& a, const Tensor& b, KernelProfiler& prof) {
+    return binary_op(a, b, "div", prof, [](float x, float y) { return x / y; });
+}
+
+Tensor pow2(const Tensor& a, KernelProfiler& prof) {
+    Tensor out(a.size());
+    for (std::size_t k = 0; k < a.size(); ++k) out[k] = a[k] * a[k];
+    prof.record("pow", a.size());
+    return out;
+}
+
+Tensor sqrt(const Tensor& a, KernelProfiler& prof) {
+    Tensor out(a.size());
+    for (std::size_t k = 0; k < a.size(); ++k) out[k] = std::sqrt(a[k]);
+    prof.record("sqrt", a.size());
+    return out;
+}
+
+Tensor where(const Tensor& cond, const Tensor& a, const Tensor& b,
+             KernelProfiler& prof) {
+    assert(cond.size() == a.size() && a.size() == b.size());
+    Tensor out(a.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        out[k] = cond[k] != 0.0f ? a[k] : b[k];
+    }
+    prof.record("where", a.size());
+    return out;
+}
+
+Tensor clamp_max(const Tensor& a, float cap, KernelProfiler& prof) {
+    Tensor out(a.size());
+    for (std::size_t k = 0; k < a.size(); ++k) out[k] = a[k] < cap ? a[k] : cap;
+    prof.record("where", a.size());
+    return out;
+}
+
+Tensor clamp_min(const Tensor& a, float floor, KernelProfiler& prof) {
+    Tensor out(a.size());
+    for (std::size_t k = 0; k < a.size(); ++k) out[k] = a[k] > floor ? a[k] : floor;
+    prof.record("where", a.size());
+    return out;
+}
+
+double sum(const Tensor& a, KernelProfiler& prof) {
+    double s = 0;
+    for (std::size_t k = 0; k < a.size(); ++k) s += a[k];
+    prof.record("reduction", a.size());
+    return s;
+}
+
+}  // namespace pgl::tensor

@@ -1,0 +1,155 @@
+#pragma once
+// A miniature eager tensor library standing in for PyTorch (paper Sec. IV).
+// Every operation executes for real on the host (so the batched layout it
+// powers produces a genuine layout whose quality can be measured) and is
+// simultaneously recorded as one "CUDA kernel launch" with a modeled cost:
+// a fixed launch overhead plus a per-element rate by kernel class. The
+// recorded profile reproduces the paper's PyTorch findings — kernel-launch
+// counts (Table IV), the dominance of the `index` (gather/scatter) kernels
+// (Fig. 7) and the batch-size run-time curve (Table III).
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pgl::tensor {
+
+/// 1-D float tensor. Deliberately minimal: the layout workload only needs
+/// flat coordinate/index vectors.
+class Tensor {
+public:
+    Tensor() = default;
+    explicit Tensor(std::size_t n, float fill = 0.0f) : data_(n, fill) {}
+    explicit Tensor(std::vector<float> v) : data_(std::move(v)) {}
+
+    std::size_t size() const noexcept { return data_.size(); }
+    float* data() noexcept { return data_.data(); }
+    const float* data() const noexcept { return data_.data(); }
+    float& operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    std::span<const float> span() const noexcept { return data_; }
+
+private:
+    std::vector<float> data_;
+};
+
+/// Modeled kernel cost table: a fixed launch overhead plus a per-element
+/// rate by kernel class. `index` covers gather and scatter — the
+/// random-access memory kernels that dominate the profile (Fig. 7).
+struct KernelCostModel {
+    double launch_overhead_us = 5.0;  ///< CUDA driver + dispatch
+    /// Host-side per-batch cost (framework loop, launch queueing, implicit
+    /// synchronization) — what makes tiny batches 0.2x of the CPU baseline
+    /// in Table III. Accounted as CUDA-API time like the paper's profile.
+    double host_per_batch_us = 500.0;
+    double ns_index = 0.55;
+    double ns_pow = 0.08;
+    double ns_mul = 0.08;
+    double ns_where = 0.08;
+    double ns_add = 0.08;
+    double ns_sub = 0.08;
+    double ns_sqrt = 0.08;
+    double ns_div = 0.08;
+    double ns_reduction = 0.10;
+    double ns_rand = 0.08;
+
+    /// Gather/scatter slow down when the coordinate tensors spill the GPU
+    /// L2: every random element becomes a DRAM sector.
+    double l2_bytes = 6.0 * 1024 * 1024;
+    double spill_index_multiplier = 2.0;
+    /// Full-scale coordinate footprint to test L2 fit against (bytes);
+    /// 0 = use the actual tensors' size. Benches running scaled graphs set
+    /// this to the paper-scale footprint they are extrapolating to.
+    double coord_bytes_override = 0.0;
+};
+
+/// Records one launch per op invocation with a modeled duration.
+class KernelProfiler {
+public:
+    using CostModel = KernelCostModel;
+
+    explicit KernelProfiler(CostModel cost = CostModel()) : cost_(cost) {}
+
+    /// Registers a launch of `kernel` over `elements` items.
+    void record(const std::string& kernel, std::size_t elements);
+
+    /// Total bytes the random gathers index into (the coordinate tensors);
+    /// used with the cost model's L2-fit test. Overridden by
+    /// cost.coord_bytes_override when nonzero.
+    void set_gather_footprint(double bytes) noexcept {
+        gather_footprint_bytes_ = bytes;
+    }
+
+    std::uint64_t total_launches() const noexcept { return launches_; }
+    /// Modeled device-side kernel time (seconds), excluding API overhead.
+    double kernel_seconds() const noexcept { return kernel_seconds_; }
+    /// Modeled host-side CUDA API time (launch overhead * launches).
+    double api_seconds() const noexcept {
+        return static_cast<double>(launches_) * cost_.launch_overhead_us * 1e-6;
+    }
+    double total_seconds() const noexcept { return kernel_seconds() + api_seconds(); }
+    double api_time_fraction() const noexcept {
+        const double t = total_seconds();
+        return t > 0 ? api_seconds() / t : 0.0;
+    }
+
+    /// Per-kernel modeled seconds, for the Fig. 7 breakdown.
+    const std::map<std::string, double>& per_kernel_seconds() const noexcept {
+        return per_kernel_;
+    }
+    const std::map<std::string, std::uint64_t>& per_kernel_launches() const noexcept {
+        return per_kernel_count_;
+    }
+
+    void reset();
+
+private:
+    double rate_ns(const std::string& kernel) const;
+
+    CostModel cost_;
+    double gather_footprint_bytes_ = 0.0;
+    std::uint64_t launches_ = 0;
+    double kernel_seconds_ = 0.0;
+    std::map<std::string, double> per_kernel_;
+    std::map<std::string, std::uint64_t> per_kernel_count_;
+};
+
+// --- Ops. Each call executes on the host and records one kernel launch. ---
+
+/// out[k] = src[idx[k]] — the gather "index" kernel.
+Tensor index_select(const Tensor& src, std::span<const std::uint32_t> idx,
+                    KernelProfiler& prof);
+
+/// dst[idx[k]] += val[k] — the scatter-accumulate "index" kernel.
+/// Duplicate indices within a batch accumulate in order (like index_put_
+/// with accumulate=True).
+void index_add(Tensor& dst, std::span<const std::uint32_t> idx, const Tensor& val,
+               KernelProfiler& prof);
+
+/// dst[idx[k]] = val[k] — the scatter "index" kernel with index_put_
+/// (accumulate=False) semantics: duplicate indices within a batch resolve
+/// to the last writer. This is how the batched layout applies updates; it
+/// is exactly why very large batches lose quality gradually (stale +
+/// dropped duplicate updates) instead of diverging.
+void index_put(Tensor& dst, std::span<const std::uint32_t> idx, const Tensor& val,
+               KernelProfiler& prof);
+
+Tensor sub(const Tensor& a, const Tensor& b, KernelProfiler& prof);
+Tensor add(const Tensor& a, const Tensor& b, KernelProfiler& prof);
+Tensor mul(const Tensor& a, const Tensor& b, KernelProfiler& prof);
+Tensor mul_scalar(const Tensor& a, float s, KernelProfiler& prof);
+Tensor div(const Tensor& a, const Tensor& b, KernelProfiler& prof);
+Tensor pow2(const Tensor& a, KernelProfiler& prof);
+Tensor sqrt(const Tensor& a, KernelProfiler& prof);
+/// out[k] = cond[k] != 0 ? a[k] : b[k] — the "where" kernel.
+Tensor where(const Tensor& cond, const Tensor& a, const Tensor& b,
+             KernelProfiler& prof);
+/// out[k] = min(a[k], cap) via where semantics (clamp used for mu <= 1).
+Tensor clamp_max(const Tensor& a, float cap, KernelProfiler& prof);
+/// out[k] = max(a[k], floor) via where semantics (guards 1/mag).
+Tensor clamp_min(const Tensor& a, float floor, KernelProfiler& prof);
+double sum(const Tensor& a, KernelProfiler& prof);
+
+}  // namespace pgl::tensor

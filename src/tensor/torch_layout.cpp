@@ -1,0 +1,133 @@
+#include "tensor/torch_layout.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/sampling.hpp"
+#include "core/schedule.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace pgl::tensor {
+
+namespace {
+
+using core::End;
+
+/// Flat coordinate index of a node endpoint in the [sx0, ex0, sx1, ...]
+/// coordinate tensors.
+std::uint32_t coord_index(std::uint32_t node, End e) {
+    return 2 * node + static_cast<std::uint32_t>(e);
+}
+
+}  // namespace
+
+TorchLayoutResult layout_torch(const graph::LeanGraph& g,
+                               const core::LayoutConfig& cfg,
+                               std::uint64_t batch_size,
+                               KernelProfiler::CostModel cost) {
+    TorchLayoutResult out;
+    out.profiler = KernelProfiler(cost);
+    KernelProfiler& prof = out.profiler;
+    prof.set_gather_footprint(
+        2.0 * 2.0 * static_cast<double>(g.node_count()) * sizeof(float));
+
+    const core::PairSampler sampler(g, cfg);
+    const auto etas = core::make_eta_schedule(
+        cfg.schedule_length(), cfg.eps,
+        static_cast<double>(g.max_path_nuc_length()));
+
+    rng::Xoshiro256Plus init_rng(cfg.seed ^ 0xa02bdbf7bb3c0a7ULL);
+    const core::Layout initial =
+        core::make_linear_initial_layout(g, init_rng, cfg.init_jitter);
+
+    // Coordinates live in two flat tensors ("the adjustable weights").
+    const std::size_t n = initial.size();
+    Tensor X(2 * n), Y(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        X[2 * i] = initial.start_x[i];
+        X[2 * i + 1] = initial.end_x[i];
+        Y[2 * i] = initial.start_y[i];
+        Y[2 * i + 1] = initial.end_y[i];
+    }
+
+    rng::Xoshiro256Plus rng(cfg.seed);
+    const std::uint64_t steps_per_iter = cfg.steps_per_iteration(g.total_path_steps());
+    const std::uint64_t batch = std::max<std::uint64_t>(1, batch_size);
+
+    std::vector<std::uint32_t> idx_i, idx_j;
+    std::vector<float> dref_host;
+
+    for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+        const double eta = etas.empty() ? 0.0 : etas[iter];
+        const bool cooling_iter = cfg.cooling(iter);
+        std::uint64_t remaining = steps_per_iter;
+
+        while (remaining > 0) {
+            const std::uint64_t b = std::min(batch, remaining);
+            remaining -= b;
+
+            // Host-side batch assembly (the "dataloader"): sample b terms.
+            idx_i.clear();
+            idx_j.clear();
+            dref_host.clear();
+            for (std::uint64_t k = 0; k < b; ++k) {
+                const auto t = sampler.sample(cooling_iter, rng);
+                if (!t.valid) continue;
+                idx_i.push_back(coord_index(t.node_i, t.end_i));
+                idx_j.push_back(coord_index(t.node_j, t.end_j));
+                dref_host.push_back(static_cast<float>(t.d_ref));
+            }
+            if (idx_i.empty()) continue;
+            Tensor dref(dref_host);
+
+            // --- Gather (index kernels) ---
+            const Tensor xi = index_select(X, idx_i, prof);
+            const Tensor yi = index_select(Y, idx_i, prof);
+            const Tensor xj = index_select(X, idx_j, prof);
+            const Tensor yj = index_select(Y, idx_j, prof);
+
+            // --- Stress gradient ---
+            const Tensor dx = sub(xi, xj, prof);
+            const Tensor dy = sub(yi, yj, prof);
+            const Tensor mag0 = sqrt(add(pow2(dx, prof), pow2(dy, prof), prof), prof);
+            const Tensor mag = clamp_min(mag0, 1e-9f, prof);
+
+            // mu = clamp(eta / dref^2, 1)
+            const Tensor d2 = pow2(dref, prof);
+            const Tensor eta_t(dref.size(), static_cast<float>(eta));
+            const Tensor mu = clamp_max(div(eta_t, d2, prof), 1.0f, prof);
+
+            const Tensor residual = sub(mag, dref, prof);
+            const Tensor delta = mul_scalar(mul(mu, residual, prof), 0.5f, prof);
+            const Tensor r = div(delta, mag, prof);
+            const Tensor rx = mul(r, dx, prof);
+            const Tensor ry = mul(r, dy, prof);
+
+            // --- Scatter updates (index kernels, index_put_ semantics) ---
+            index_put(X, idx_i, sub(xi, rx, prof), prof);
+            index_put(Y, idx_i, sub(yi, ry, prof), prof);
+            index_put(X, idx_j, add(xj, rx, prof), prof);
+            index_put(Y, idx_j, add(yj, ry, prof), prof);
+
+            ++out.batches;
+        }
+    }
+
+    out.layout.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.layout.start_x[i] = X[2 * i];
+        out.layout.end_x[i] = X[2 * i + 1];
+        out.layout.start_y[i] = Y[2 * i];
+        out.layout.end_y[i] = Y[2 * i + 1];
+    }
+    out.kernel_launches = prof.total_launches();
+    out.kernel_seconds = prof.kernel_seconds();
+    out.api_seconds = prof.api_seconds() +
+                      static_cast<double>(out.batches) * cost.host_per_batch_us * 1e-6;
+    out.modeled_seconds = out.kernel_seconds + out.api_seconds;
+    out.api_time_fraction =
+        out.modeled_seconds > 0 ? out.api_seconds / out.modeled_seconds : 0.0;
+    return out;
+}
+
+}  // namespace pgl::tensor

@@ -1,0 +1,35 @@
+#pragma once
+// The PyTorch-style batched implementation of PG-SGD (paper Sec. IV): node
+// pairs are grouped into long tensors, the stress gradient is computed with
+// generic tensor kernels, and coordinate updates are applied per batch —
+// which is exactly what makes large batches stale (Hogwild updates within a
+// batch see the coordinates from the batch's start) and small batches
+// launch-overhead-bound.
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/layout.hpp"
+#include "graph/lean_graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pgl::tensor {
+
+struct TorchLayoutResult {
+    core::Layout layout;
+    std::uint64_t batches = 0;
+    std::uint64_t kernel_launches = 0;
+    double kernel_seconds = 0.0;   ///< modeled device time
+    double api_seconds = 0.0;      ///< modeled CUDA-API (launch) time
+    double modeled_seconds = 0.0;  ///< kernel + API
+    double api_time_fraction = 0.0;
+    KernelProfiler profiler;       ///< per-kernel breakdown for Fig. 7
+};
+
+/// Runs the full schedule with the given batch size and returns the layout
+/// plus the kernel profile.
+TorchLayoutResult layout_torch(const graph::LeanGraph& g,
+                               const core::LayoutConfig& cfg,
+                               std::uint64_t batch_size,
+                               KernelProfiler::CostModel cost = KernelProfiler::CostModel());
+
+}  // namespace pgl::tensor

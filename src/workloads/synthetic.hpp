@@ -1,0 +1,64 @@
+#pragma once
+// Synthetic pangenome generator — the stand-in for the HPRC human
+// chromosome dataset (see DESIGN.md, substitution table). Emits variation
+// graphs with the structural signature of real pangenomes: a long linear
+// backbone (sequence homology), SNV bubbles, insertions, deletions, large
+// structural variants, inversions and tandem-duplication loops, traversed
+// by a configurable number of haplotype paths.
+//
+// The layout algorithm only ever reads topology, node lengths and path
+// walks, so matching those statistics (node count, edge/node ratio ~ 1.36,
+// path count, node length distribution) reproduces the paper's workload.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/variation_graph.hpp"
+
+namespace pgl::workloads {
+
+struct PangenomeSpec {
+    std::string name = "synthetic";
+    std::uint64_t backbone_nodes = 1000;  ///< nodes on the linear backbone
+    std::uint32_t n_paths = 12;           ///< haplotypes walking the graph
+
+    // Per-backbone-position variant probabilities.
+    double snv_rate = 0.18;   ///< biallelic substitution bubble
+    double ins_rate = 0.02;   ///< insertion present in a subset of paths
+    double del_rate = 0.02;   ///< deletion (skip edge) in a subset of paths
+    double sv_rate = 0.002;   ///< large structural variant (alt segment)
+    double inv_rate = 0.001;  ///< inversion (reverse traversal of a segment)
+    double loop_rate = 0.001; ///< tandem duplication (path revisits a segment)
+
+    std::uint32_t node_len_min = 1;   ///< nucleotides per node, uniform
+    std::uint32_t node_len_max = 8;
+    std::uint32_t sv_segment_nodes = 12;  ///< nodes per SV alternative
+    std::uint32_t dup_segment_nodes = 6;  ///< nodes revisited by a loop
+
+    double allele_frequency = 0.3;  ///< P(a path takes the alternative allele)
+
+    std::uint64_t seed = 1234;
+};
+
+/// Generates a variation graph from the spec. Every emitted path is a valid
+/// walk (consecutive steps connected by edges) and the graph passes
+/// VariationGraph::validate().
+graph::VariationGraph generate_pangenome(const PangenomeSpec& spec);
+
+// --- Presets mirroring the paper's representative graphs (Table I) ---
+
+/// HLA-DRB1-like gene graph: ~5e3 nodes, 12 paths, ~4.4 bp/node.
+PangenomeSpec hla_drb1_spec();
+
+/// MHC-like region: targets ~2.3e5 * scale nodes, 99 paths, ~26 bp/node.
+PangenomeSpec mhc_spec(double scale = 1.0);
+
+/// Human chromosome k (1..22, 23 = X, 24 = Y), scaled. At scale = 1 the
+/// node counts follow Table VI/VII proportions (Chr1 ~ 1.1e7 nodes); the
+/// default experiments run at scale ~ 0.01 to fit this container.
+PangenomeSpec chromosome_spec(int chromosome, double scale);
+
+/// Display name ("Chr.1" ... "Chr.22", "Chr.X", "Chr.Y").
+std::string chromosome_name(int chromosome);
+
+}  // namespace pgl::workloads

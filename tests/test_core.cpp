@@ -1,0 +1,309 @@
+// Tests for the core PG-SGD machinery: schedule, step math, sampling and
+// the CPU engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cpu_engine.hpp"
+#include "core/sampling.hpp"
+#include "core/schedule.hpp"
+#include "core/step_math.hpp"
+#include "graph/lean_graph.hpp"
+#include "metrics/path_stress.hpp"
+#include "rng/xoshiro256.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace pgl;
+using core::End;
+
+graph::LeanGraph small_graph(std::uint64_t backbone = 200, std::uint32_t paths = 4,
+                             std::uint64_t seed = 5) {
+    workloads::PangenomeSpec spec;
+    spec.backbone_nodes = backbone;
+    spec.n_paths = paths;
+    spec.seed = seed;
+    const auto g = workloads::generate_pangenome(spec);
+    return graph::LeanGraph::from_graph(g);
+}
+
+// --- Schedule ---
+
+TEST(Schedule, MonotonicallyDecreasing) {
+    const auto etas = core::make_eta_schedule(30, 0.01, 1e6);
+    ASSERT_EQ(etas.size(), 30u);
+    for (std::size_t i = 1; i < etas.size(); ++i) EXPECT_LT(etas[i], etas[i - 1]);
+}
+
+TEST(Schedule, EndpointsMatchTheory) {
+    const double d_max = 1e4;
+    const auto etas = core::make_eta_schedule(10, 0.01, d_max);
+    EXPECT_NEAR(etas.front(), d_max * d_max, d_max * d_max * 1e-9);
+    EXPECT_NEAR(etas.back(), 0.01, 0.01 * 1e-6);
+}
+
+TEST(Schedule, SingleIterationUsesEtaMax) {
+    const auto etas = core::make_eta_schedule(1, 0.01, 100);
+    ASSERT_EQ(etas.size(), 1u);
+    EXPECT_DOUBLE_EQ(etas[0], 1e4);
+}
+
+TEST(Schedule, EmptyForZeroIterations) {
+    EXPECT_TRUE(core::make_eta_schedule(0, 0.01, 100).empty());
+}
+
+// --- Step math ---
+
+TEST(StepMath, PullsPointsTogetherWhenTooFar) {
+    // Points 10 apart with reference distance 2: both should move inward.
+    const auto d = core::sgd_term_update(0, 0, 10, 0, 2.0, 1e9, 1e-4);
+    EXPECT_GT(d.dx_i, 0.0f);  // v_i moves toward v_j (positive x)
+    EXPECT_LT(d.dx_j, 0.0f);
+    EXPECT_FLOAT_EQ(d.dy_i, 0.0f);
+}
+
+TEST(StepMath, PushesPointsApartWhenTooClose) {
+    const auto d = core::sgd_term_update(0, 0, 1, 0, 5.0, 1e9, 1e-4);
+    EXPECT_LT(d.dx_i, 0.0f);
+    EXPECT_GT(d.dx_j, 0.0f);
+}
+
+TEST(StepMath, ClampedStepLandsExactlyAtReferenceDistance) {
+    // With mu clamped to 1 the update moves the pair to distance d_ref.
+    const float xi = 0, xj = 10;
+    const auto d = core::sgd_term_update(xi, 0, xj, 0, 4.0, 1e12, 1e-4);
+    const double nxi = xi + d.dx_i, nxj = xj + d.dx_j;
+    EXPECT_NEAR(std::abs(nxj - nxi), 4.0, 1e-4);
+}
+
+TEST(StepMath, SymmetricDisplacements) {
+    const auto d = core::sgd_term_update(1, 2, 5, 7, 3.0, 10.0, 1e-4);
+    EXPECT_FLOAT_EQ(d.dx_i, -d.dx_j);
+    EXPECT_FLOAT_EQ(d.dy_i, -d.dy_j);
+}
+
+TEST(StepMath, StressIsRelativeSquaredResidual) {
+    const auto d = core::sgd_term_update(0, 0, 6, 0, 2.0, 0.0, 1e-4);
+    // |v_i - v_j| = 6, d_ref = 2 -> ((6-2)/2)^2 = 4.
+    EXPECT_NEAR(d.stress, 4.0, 1e-9);
+}
+
+TEST(StepMath, CoincidentPointsAreSeparated) {
+    const auto d = core::sgd_term_update(3, 3, 3, 3, 2.0, 1e9, 1e-4);
+    // Must produce a finite, nonzero displacement.
+    EXPECT_TRUE(std::isfinite(d.dx_i));
+    EXPECT_TRUE(std::isfinite(d.dy_i));
+    EXPECT_NE(d.dx_i, 0.0f);
+}
+
+TEST(StepMath, TinyEtaMakesTinyMoves) {
+    const auto d = core::sgd_term_update(0, 0, 10, 0, 2.0, 1e-6, 1e-4);
+    EXPECT_LT(std::abs(d.dx_i), 1e-4);
+}
+
+// --- Endpoint path positions ---
+
+TEST(EndpointPosition, ForwardStep) {
+    EXPECT_EQ(core::endpoint_path_position(100, 5, false, End::kStart), 100u);
+    EXPECT_EQ(core::endpoint_path_position(100, 5, false, End::kEnd), 105u);
+}
+
+TEST(EndpointPosition, ReverseStepSwapsEnds) {
+    EXPECT_EQ(core::endpoint_path_position(100, 5, true, End::kStart), 105u);
+    EXPECT_EQ(core::endpoint_path_position(100, 5, true, End::kEnd), 100u);
+}
+
+// --- PairSampler ---
+
+TEST(PairSampler, ProducesValidTerms) {
+    const auto g = small_graph();
+    core::LayoutConfig cfg;
+    const core::PairSampler sampler(g, cfg);
+    rng::Xoshiro256Plus rng(1);
+    int valid = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const auto t = sampler.sample(false, rng);
+        if (!t.valid) continue;
+        ++valid;
+        ASSERT_LT(t.path, g.path_count());
+        ASSERT_LT(t.step_i, g.path_step_count(t.path));
+        ASSERT_LT(t.step_j, g.path_step_count(t.path));
+        ASSERT_NE(t.step_i, t.step_j);
+        ASSERT_GT(t.d_ref, 0.0);
+        ASSERT_EQ(t.node_i, g.step_node(t.path, t.step_i));
+    }
+    EXPECT_GT(valid, 4000);
+}
+
+TEST(PairSampler, CoolingShortensHops) {
+    const auto g = small_graph(2000, 2);
+    core::LayoutConfig cfg;
+    cfg.zipf_space_max = 0;  // unbounded: let hops roam the whole path
+    const core::PairSampler sampler(g, cfg);
+    rng::Xoshiro256Plus rng(2);
+    auto mean_hop = [&](bool cooling) {
+        double total = 0;
+        int n = 0;
+        for (int i = 0; i < 20000; ++i) {
+            const auto t = sampler.sample(cooling, rng);
+            if (!t.valid) continue;
+            total += std::abs(static_cast<double>(t.step_i) -
+                              static_cast<double>(t.step_j));
+            ++n;
+        }
+        return total / n;
+    };
+    // Cooling draws Zipf hops; always-cooling must give much shorter hops
+    // than never-cooling (which is a 50/50 mix of uniform and Zipf).
+    EXPECT_LT(mean_hop(true), mean_hop(false) * 0.8);
+}
+
+TEST(PairSampler, PathSelectionProportionalToLength) {
+    // Two paths with very different lengths: the longer is picked more.
+    workloads::PangenomeSpec spec;
+    spec.backbone_nodes = 100;
+    spec.n_paths = 2;
+    spec.seed = 6;
+    auto vg = workloads::generate_pangenome(spec);
+    // Append a path ~10x longer by concatenating an existing path walk.
+    std::vector<graph::Handle> long_walk;
+    for (int r = 0; r < 10; ++r) {
+        const auto& steps = vg.path(0).steps;
+        if (!long_walk.empty()) {
+            // Close the loop so consecutive steps stay connected: revisit
+            // from the first node again (edge added by add_path).
+        }
+        long_walk.insert(long_walk.end(), steps.begin(), steps.end());
+    }
+    vg.add_path("long", long_walk);
+    const auto g = graph::LeanGraph::from_graph(vg);
+    core::LayoutConfig cfg;
+    const core::PairSampler sampler(g, cfg);
+    rng::Xoshiro256Plus rng(3);
+    std::vector<int> counts(g.path_count(), 0);
+    for (int i = 0; i < 30000; ++i) {
+        counts[sampler.sample(false, rng).path]++;
+    }
+    const std::uint32_t long_path = g.path_count() - 1;
+    EXPECT_GT(counts[long_path], counts[0] * 5);
+}
+
+// --- CPU engine ---
+
+TEST(CpuEngine, ReducesSampledPathStress) {
+    const auto g = small_graph(400, 6);
+    core::LayoutConfig cfg;
+    cfg.iter_max = 15;
+    cfg.steps_per_iter_factor = 5.0;
+    rng::Xoshiro256Plus rng(9);
+    const auto initial = core::make_linear_initial_layout(g, rng);
+    // Perturb the initial layout badly so there is something to fix.
+    core::Layout bad = initial;
+    rng::Xoshiro256Plus noise(10);
+    for (std::size_t i = 0; i < bad.size(); ++i) {
+        bad.start_x[i] += static_cast<float>((noise.next_double() - 0.5) * 1e4);
+        bad.end_y[i] += static_cast<float>((noise.next_double() - 0.5) * 1e4);
+    }
+    const double before = metrics::sampled_path_stress(g, bad, 20, 1).value;
+    const auto result = core::layout_cpu_from(g, cfg, bad);
+    const double after = metrics::sampled_path_stress(g, result.layout, 20, 1).value;
+    EXPECT_LT(after, before * 0.2);
+}
+
+TEST(CpuEngine, DeterministicSingleThread) {
+    const auto g = small_graph();
+    core::LayoutConfig cfg;
+    cfg.iter_max = 3;
+    cfg.steps_per_iter_factor = 1.0;
+    cfg.seed = 77;
+    const auto a = core::layout_cpu(g, cfg);
+    const auto b = core::layout_cpu(g, cfg);
+    ASSERT_EQ(a.layout.size(), b.layout.size());
+    for (std::size_t i = 0; i < a.layout.size(); ++i) {
+        EXPECT_EQ(a.layout.start_x[i], b.layout.start_x[i]);
+        EXPECT_EQ(a.layout.end_y[i], b.layout.end_y[i]);
+    }
+}
+
+TEST(CpuEngine, SoAAndAoSConvergeToSimilarQuality) {
+    const auto g = small_graph(300, 5);
+    core::LayoutConfig cfg;
+    cfg.iter_max = 12;
+    cfg.steps_per_iter_factor = 4.0;
+    const auto soa = core::layout_cpu(g, cfg, core::CoordStore::kSoA);
+    const auto aos = core::layout_cpu(g, cfg, core::CoordStore::kAoS);
+    const double s1 = metrics::sampled_path_stress(g, soa.layout, 20, 1).value;
+    const double s2 = metrics::sampled_path_stress(g, aos.layout, 20, 1).value;
+    // Same algorithm, same seed, different storage: quality must match
+    // within noise.
+    EXPECT_LT(std::abs(s1 - s2) / std::max(s1, s2), 0.5);
+}
+
+TEST(CpuEngine, MultiThreadedHogwildPreservesQuality) {
+    const auto g = small_graph(300, 5);
+    core::LayoutConfig cfg;
+    cfg.iter_max = 12;
+    cfg.steps_per_iter_factor = 4.0;
+    cfg.threads = 1;
+    const auto single = core::layout_cpu(g, cfg);
+    cfg.threads = 4;
+    const auto multi = core::layout_cpu(g, cfg);
+    const double s1 = metrics::sampled_path_stress(g, single.layout, 20, 1).value;
+    const double s4 = metrics::sampled_path_stress(g, multi.layout, 20, 1).value;
+    EXPECT_LT(s4, s1 * 3 + 0.5);  // Hogwild races must not wreck quality
+}
+
+TEST(CpuEngine, ReportsUpdateCounts) {
+    const auto g = small_graph(100, 2);
+    core::LayoutConfig cfg;
+    cfg.iter_max = 2;
+    cfg.steps_per_iter_factor = 1.0;
+    const auto r = core::layout_cpu(g, cfg);
+    EXPECT_EQ(r.updates, 2 * cfg.steps_per_iteration(g.total_path_steps()));
+    EXPECT_EQ(r.eta_schedule.size(), 2u);
+    EXPECT_GE(r.seconds, 0.0);
+}
+
+TEST(LayoutInit, LinearAlongCumulativeLength) {
+    const auto g = small_graph(50, 2);
+    rng::Xoshiro256Plus rng(4);
+    const auto l = core::make_linear_initial_layout(g, rng);
+    ASSERT_EQ(l.size(), g.node_count());
+    double x = 0;
+    for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+        EXPECT_FLOAT_EQ(l.start_x[i], static_cast<float>(x));
+        x += g.node_length(i);
+        EXPECT_FLOAT_EQ(l.end_x[i], static_cast<float>(x));
+    }
+}
+
+TEST(LayoutStores, SnapshotRoundTrip) {
+    const auto g = small_graph(40, 2);
+    rng::Xoshiro256Plus rng(5);
+    const auto l = core::make_linear_initial_layout(g, rng);
+    core::LayoutSoA soa(l);
+    core::LayoutAoS aos(l, g);
+    const auto s1 = soa.snapshot();
+    const auto s2 = aos.snapshot();
+    for (std::size_t i = 0; i < l.size(); ++i) {
+        EXPECT_EQ(s1.start_x[i], l.start_x[i]);
+        EXPECT_EQ(s2.start_x[i], l.start_x[i]);
+        EXPECT_EQ(s1.end_y[i], l.end_y[i]);
+        EXPECT_EQ(s2.end_y[i], l.end_y[i]);
+    }
+}
+
+TEST(LayoutStores, AtomicAccessorsReadBackStores) {
+    const auto g = small_graph(10, 1);
+    rng::Xoshiro256Plus rng(6);
+    const auto l = core::make_linear_initial_layout(g, rng);
+    core::LayoutSoA soa(l);
+    soa.store_x(3, End::kEnd, 42.5f);
+    EXPECT_FLOAT_EQ(soa.load_x(3, End::kEnd), 42.5f);
+    core::LayoutAoS aos(l, g);
+    aos.store_y(2, End::kStart, -7.25f);
+    EXPECT_FLOAT_EQ(aos.load_y(2, End::kStart), -7.25f);
+}
+
+}  // namespace

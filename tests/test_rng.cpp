@@ -1,0 +1,220 @@
+// Tests for the RNG substrate: SplitMix64, Xoshiro256+, XORWOW, the Zipf
+// sampler and the alias table.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xorwow.hpp"
+#include "rng/xoshiro256.hpp"
+#include "rng/zipf.hpp"
+
+namespace {
+
+using namespace pgl::rng;
+
+TEST(SplitMix64, KnownSequenceFromSeedZero) {
+    // Reference values from the canonical splitmix64.c (Vigna).
+    SplitMix64 sm(0);
+    EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+    EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+    SplitMix64 a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256Plus, DeterministicForSeed) {
+    Xoshiro256Plus a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256Plus, DoubleInUnitInterval) {
+    Xoshiro256Plus rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Xoshiro256Plus, DoubleMeanNearHalf) {
+    Xoshiro256Plus rng(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += rng.next_double();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro256Plus, BoundedStaysInRange) {
+    Xoshiro256Plus rng(13);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(rng.next_bounded(bound), bound);
+        }
+    }
+}
+
+TEST(Xoshiro256Plus, BoundedIsRoughlyUniform) {
+    Xoshiro256Plus rng(17);
+    constexpr std::uint64_t kBound = 10;
+    std::array<int, kBound> counts{};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) counts[rng.next_bounded(kBound)]++;
+    for (int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.1);
+    }
+}
+
+TEST(Xoshiro256Plus, FlipCoinIsFair) {
+    Xoshiro256Plus rng(19);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) heads += rng.flip_coin();
+    EXPECT_NEAR(heads, n / 2.0, n * 0.01);
+}
+
+TEST(Xoshiro256Plus, JumpProducesDisjointStream) {
+    Xoshiro256Plus a(23);
+    Xoshiro256Plus b = a;
+    b.jump();
+    // Streams should not collide over a short horizon.
+    std::vector<std::uint64_t> av, bv;
+    for (int i = 0; i < 100; ++i) {
+        av.push_back(a.next());
+        bv.push_back(b.next());
+    }
+    EXPECT_NE(av, bv);
+}
+
+TEST(Xorwow, StateIsSixWords) {
+    EXPECT_EQ(sizeof(XorwowState), 24u);
+}
+
+TEST(Xorwow, DeterministicPerSequence) {
+    XorwowState a = xorwow_init(99, 5);
+    XorwowState b = xorwow_init(99, 5);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(xorwow_next(a), xorwow_next(b));
+}
+
+TEST(Xorwow, SequencesAreDecorrelated) {
+    XorwowState a = xorwow_init(99, 0);
+    XorwowState b = xorwow_init(99, 1);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) equal += (xorwow_next(a) == xorwow_next(b));
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Xorwow, UniformInUnitInterval) {
+    XorwowState st = xorwow_init(1, 2);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const float f = xorwow_uniform(st);
+        ASSERT_GE(f, 0.0f);
+        ASSERT_LT(f, 1.0f);
+        sum += f;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xorwow, BoundedStaysInRange) {
+    XorwowState st = xorwow_init(3, 4);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(xorwow_bounded(st, 37), 37u);
+    }
+}
+
+TEST(Zipf, AlwaysInRange) {
+    Xoshiro256Plus rng(31);
+    ZipfSampler zipf(1000, 0.99);
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t k = zipf(rng);
+        ASSERT_GE(k, 1u);
+        ASSERT_LE(k, 1000u);
+    }
+}
+
+TEST(Zipf, SingleElementDomain) {
+    Xoshiro256Plus rng(32);
+    ZipfSampler zipf(1, 0.99);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 1u);
+}
+
+TEST(Zipf, MatchesAnalyticMassForSmallN) {
+    // Compare empirical frequencies against the exact normalized 1/k^theta
+    // mass for a small domain.
+    const double theta = 0.99;
+    const std::uint64_t n = 10;
+    double z = 0;
+    for (std::uint64_t k = 1; k <= n; ++k) z += std::pow(k, -theta);
+
+    Xoshiro256Plus rng(33);
+    ZipfSampler zipf(n, theta);
+    std::map<std::uint64_t, int> counts;
+    const int draws = 400000;
+    for (int i = 0; i < draws; ++i) counts[zipf(rng)]++;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        const double expected = std::pow(k, -theta) / z;
+        const double got = counts[k] / static_cast<double>(draws);
+        EXPECT_NEAR(got, expected, 0.01) << "k=" << k;
+    }
+}
+
+TEST(Zipf, HeavierHeadWithLargerTheta) {
+    Xoshiro256Plus rng(34);
+    ZipfSampler flat(1000, 0.2), steep(1000, 2.0);
+    std::uint64_t ones_flat = 0, ones_steep = 0;
+    for (int i = 0; i < 50000; ++i) {
+        ones_flat += flat(rng) == 1;
+        ones_steep += steep(rng) == 1;
+    }
+    EXPECT_GT(ones_steep, ones_flat * 2);
+}
+
+TEST(AliasTable, SingleBucket) {
+    const std::vector<double> w{5.0};
+    AliasTable t{std::span<const double>(w)};
+    Xoshiro256Plus rng(35);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(t(rng), 0u);
+}
+
+TEST(AliasTable, MatchesWeights) {
+    const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+    AliasTable t{std::span<const double>(w)};
+    Xoshiro256Plus rng(36);
+    std::array<int, 4> counts{};
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) counts[t(rng)]++;
+    for (int k = 0; k < 4; ++k) {
+        EXPECT_NEAR(counts[k] / static_cast<double>(n), (k + 1) / 10.0, 0.01);
+    }
+}
+
+TEST(AliasTable, HandlesZeroWeightEntries) {
+    const std::vector<double> w{0.0, 1.0, 0.0, 1.0};
+    AliasTable t{std::span<const double>(w)};
+    Xoshiro256Plus rng(37);
+    for (int i = 0; i < 20000; ++i) {
+        const auto k = t(rng);
+        EXPECT_TRUE(k == 1 || k == 3) << k;
+    }
+}
+
+TEST(AliasTable, ExtremeWeightSkew) {
+    const std::vector<double> w{1e-9, 1e9};
+    AliasTable t{std::span<const double>(w)};
+    Xoshiro256Plus rng(38);
+    int zeros = 0;
+    for (int i = 0; i < 100000; ++i) zeros += (t(rng) == 0);
+    EXPECT_LT(zeros, 5);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// pgl-layout — the command-line layout tool, mirroring `odgi layout` with
+// the paper's promised `--gpu` switch (Sec. VII-B: "a user can simply add
+// the --gpu argument").
+//
+//   pgl-layout -i graph.gfa -o graph.lay [--gpu[=a6000|a100]]
+//              [--iters N] [--factor F] [--threads N] [--seed N]
+//              [--svg out.svg] [--ppm out.ppm] [--stress] [--cdl]
+//
+// Reads a GFA v1 pangenome graph, computes the PG-SGD layout on the CPU
+// (default, Hogwild multithreaded) or on the simulated GPU (--gpu), writes
+// the binary .lay layout and optional renders, and reports sampled path
+// stress when asked.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/cpu_engine.hpp"
+#include "draw/ppm.hpp"
+#include "draw/svg.hpp"
+#include "gpusim/gpu_machine.hpp"
+#include "gpusim/gpu_spec.hpp"
+#include "graph/gfa.hpp"
+#include "graph/lean_graph.hpp"
+#include "io/lay_io.hpp"
+#include "metrics/path_stress.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+    std::cerr
+        << "usage: " << argv0 << " -i graph.gfa -o layout.lay [options]\n"
+        << "  --gpu[=a6000|a100]  run on the simulated GPU (default: CPU)\n"
+        << "  --cdl               CPU only: use the cache-friendly (AoS) store\n"
+        << "  --iters N           SGD iterations (default 30)\n"
+        << "  --factor F          updates per iteration = F x total steps (default 10)\n"
+        << "  --threads N         CPU Hogwild workers (default 1)\n"
+        << "  --seed N            PRNG seed\n"
+        << "  --svg FILE          also render an SVG\n"
+        << "  --ppm FILE          also render a PPM bitmap\n"
+        << "  --stress            report sampled path stress with CI95\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace pgl;
+    std::string in_path, out_path, svg_path, ppm_path, gpu_name;
+    bool use_gpu = false, use_cdl = false, report_stress = false;
+    core::LayoutConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "-i") {
+            in_path = next();
+        } else if (arg == "-o") {
+            out_path = next();
+        } else if (arg == "--gpu") {
+            use_gpu = true;
+            gpu_name = "a6000";
+        } else if (arg.rfind("--gpu=", 0) == 0) {
+            use_gpu = true;
+            gpu_name = arg.substr(6);
+        } else if (arg == "--cdl") {
+            use_cdl = true;
+        } else if (arg == "--iters") {
+            cfg.iter_max = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--factor") {
+            cfg.steps_per_iter_factor = std::atof(next());
+        } else if (arg == "--threads") {
+            cfg.threads = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--seed") {
+            cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--svg") {
+            svg_path = next();
+        } else if (arg == "--ppm") {
+            ppm_path = next();
+        } else if (arg == "--stress") {
+            report_stress = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (in_path.empty() || out_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        const auto vg = graph::read_gfa_file(in_path);
+        const std::string problem = vg.validate();
+        if (!problem.empty()) {
+            std::cerr << "invalid graph: " << problem << "\n";
+            return 1;
+        }
+        const auto g = graph::LeanGraph::from_graph(vg);
+        std::cerr << "loaded " << g.node_count() << " nodes, " << g.path_count()
+                  << " paths, " << g.total_path_steps() << " steps\n";
+
+        core::Layout layout;
+        if (use_gpu) {
+            const gpusim::GpuSpec spec =
+                gpu_name == "a100" ? gpusim::a100() : gpusim::rtx_a6000();
+            gpusim::SimOptions sopt;
+            sopt.counter_sample_period = 64;
+            const auto r = gpusim::simulate_gpu_layout(
+                g, cfg, gpusim::KernelConfig::optimized(), spec, sopt);
+            layout = r.layout;
+            std::cerr << "simulated " << spec.name << ": "
+                      << r.counters.lane_updates << " updates, modeled "
+                      << r.modeled_seconds << " s (host sim "
+                      << r.sim_wall_seconds << " s)\n";
+        } else {
+            const auto r = core::layout_cpu(
+                g, cfg, use_cdl ? core::CoordStore::kAoS : core::CoordStore::kSoA);
+            layout = r.layout;
+            std::cerr << "cpu layout: " << r.updates << " updates in "
+                      << r.seconds << " s (" << cfg.threads << " threads)\n";
+        }
+
+        io::write_layout_file(layout, out_path);
+        std::cerr << "wrote " << out_path << "\n";
+        if (!svg_path.empty()) {
+            draw::write_svg_file(g, layout, svg_path);
+            std::cerr << "wrote " << svg_path << "\n";
+        }
+        if (!ppm_path.empty()) {
+            draw::write_ppm_file(layout, ppm_path);
+            std::cerr << "wrote " << ppm_path << "\n";
+        }
+        if (report_stress) {
+            const auto sps = metrics::sampled_path_stress(g, layout);
+            std::cout << "sampled path stress: " << sps.value << " ["
+                      << sps.ci_low << ", " << sps.ci_high << "] over "
+                      << sps.terms << " terms\n";
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
