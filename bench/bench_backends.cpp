@@ -1,0 +1,55 @@
+// Cross-backend comparison: runs the same PG-SGD schedule through every
+// registered LayoutEngine (or just --backend NAME) on one scaled graph and
+// reports updates, time and layout quality side by side. This is the bench
+// the CI smoke job drives once per backend name; it is also the quickest
+// way to sanity-check that a new engine plugged into the registry actually
+// optimizes the common objective.
+//
+//   ./bench_backends [--backend NAME] [--scale F] [--iters N] [--factor F]
+//                    [--threads N] [--seed N] [--quick]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "metrics/path_stress.hpp"
+
+int main(int argc, char** argv) {
+    using namespace pgl;
+    auto opt = bench::BenchOptions::parse(argc, argv);
+
+    // Unless the caller narrowed it with --backend, sweep every engine.
+    bool sweep_all = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--backend") sweep_all = false;
+    }
+    const std::vector<std::string> backends =
+        sweep_all ? core::EngineRegistry::instance().names()
+                  : std::vector<std::string>{opt.backend};
+
+    std::cout << "== Cross-backend PG-SGD comparison (common LayoutEngine"
+                 " interface) ==\n";
+    const auto g = bench::build_lean(workloads::mhc_spec(opt.scale * 10));
+    const auto cfg = opt.layout_config();
+
+    bench::TablePrinter table(
+        {"Backend", "Updates", "Skipped", "Seconds", "SPS", "CI95"},
+        {18, 12, 10, 12, 9, 18});
+    table.print_header(std::cout);
+
+    for (const auto& name : backends) {
+        const auto r = bench::run_backend(name, g, cfg);
+        const auto sps = metrics::sampled_path_stress(g, r.layout, 20, opt.seed);
+        table.print_row(
+            std::cout,
+            {name, bench::fmt_sci(static_cast<double>(r.updates), 2),
+             std::to_string(r.skipped), bench::fmt(r.seconds, 4),
+             bench::fmt(sps.value, 2),
+             "[" + bench::fmt(sps.ci_low, 2) + ", " + bench::fmt(sps.ci_high, 2) +
+                 "]"});
+    }
+    std::cout << "\nnote: cpu-* report measured wall time; gpusim-*/torch"
+                 " report modeled device time\n";
+    return 0;
+}

@@ -32,9 +32,24 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
             o.seed = static_cast<std::uint64_t>(std::atoll(next()));
         } else if (arg == "--quick") {
             o.quick = true;
+        } else if (arg == "--backend") {
+            o.backend = next();
+            if (!core::EngineRegistry::instance().contains(o.backend)) {
+                std::cerr << "unknown backend " << o.backend << "; available:";
+                for (const auto& n : core::EngineRegistry::instance().names()) {
+                    std::cerr << " " << n;
+                }
+                std::cerr << "\n";
+                std::exit(2);
+            }
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "options: --scale F --iters N --factor F --threads N"
-                         " --seed N --quick\n";
+                         " --seed N --quick --backend NAME\n";
+            std::cout << "backends:";
+            for (const auto& n : core::EngineRegistry::instance().names()) {
+                std::cout << " " << n;
+            }
+            std::cout << "\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option " << arg << "\n";
@@ -56,6 +71,18 @@ core::LayoutConfig BenchOptions::layout_config() const {
     cfg.threads = threads;
     cfg.seed = seed;
     return cfg;
+}
+
+core::LayoutResult run_backend(const std::string& backend,
+                               const graph::LeanGraph& g,
+                               const core::LayoutConfig& cfg) {
+    auto engine = core::EngineRegistry::instance().create(backend);
+    if (!engine) {
+        std::cerr << "unknown backend " << backend << "\n";
+        std::exit(2);
+    }
+    engine->init(g, cfg);
+    return engine->run();
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers, std::vector<int> widths)

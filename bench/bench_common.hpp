@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/engine.hpp"
 #include "graph/lean_graph.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -23,11 +24,18 @@ struct BenchOptions {
     std::uint32_t threads = 1;   ///< CPU threads
     std::uint64_t seed = 42;
     bool quick = false;          ///< further reduce work (CI smoke mode)
+    std::string backend = "cpu-soa";  ///< EngineRegistry name (--backend)
 
     static BenchOptions parse(int argc, char** argv);
 
     core::LayoutConfig layout_config() const;
 };
+
+/// Runs the layout through the registered engine named `backend`, printing
+/// a diagnostic and exiting with status 2 on an unknown name.
+core::LayoutResult run_backend(const std::string& backend,
+                               const graph::LeanGraph& g,
+                               const core::LayoutConfig& cfg);
 
 /// Fixed-width table printer used by all benches so outputs read like the
 /// paper's tables.

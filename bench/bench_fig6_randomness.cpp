@@ -7,6 +7,7 @@
 
 #include "bench_common.hpp"
 #include "core/cpu_engine.hpp"
+#include "core/sampling.hpp"
 #include "core/schedule.hpp"
 #include "core/step_math.hpp"
 #include "metrics/path_stress.hpp"

@@ -1,11 +1,12 @@
 // Quickstart: build the toy variation graph of the paper's Fig. 1, run the
-// PG-SGD layout, report stress and write a GFA + SVG pair.
+// PG-SGD layout on any registered backend, report stress and write a
+// GFA + SVG pair.
 //
-//   ./quickstart [output_dir]
+//   ./quickstart [output_dir] [backend]
 #include <iostream>
 #include <string>
 
-#include "core/cpu_engine.hpp"
+#include "core/engine.hpp"
 #include "graph/gfa.hpp"
 #include "graph/lean_graph.hpp"
 #include "metrics/path_stress.hpp"
@@ -13,6 +14,7 @@
 int main(int argc, char** argv) {
     using namespace pgl;
     const std::string out_dir = argc > 1 ? argv[1] : ".";
+    const std::string backend = argc > 2 ? argv[2] : "cpu-soa";
 
     // Fig. 1a: eight nodes, three genome paths, one SNV / insertion /
     // deletion among them.
@@ -35,15 +37,26 @@ int main(int argc, char** argv) {
 
     const auto lean = graph::LeanGraph::from_graph(vg);
 
+    if (!core::EngineRegistry::instance().contains(backend)) {
+        std::cerr << "unknown backend " << backend << "; available:";
+        for (const auto& n : core::EngineRegistry::instance().names()) {
+            std::cerr << " " << n;
+        }
+        std::cerr << "\n";
+        return 2;
+    }
+
     core::LayoutConfig cfg;
     cfg.iter_max = 30;
     cfg.steps_per_iter_factor = 10.0;
-    const auto result = core::layout_cpu(lean, cfg);
+    auto engine = core::make_engine(backend);
+    engine->init(lean, cfg);
+    const auto result = engine->run();
 
     const auto stress = metrics::path_stress(lean, result.layout);
     const auto sps = metrics::sampled_path_stress(lean, result.layout);
-    std::cout << "layout finished in " << result.seconds << " s ("
-              << result.updates << " updates)\n";
+    std::cout << engine->name() << " layout finished in " << result.seconds
+              << " s (" << result.updates << " updates)\n";
     std::cout << "path stress:         " << stress.value << "\n";
     std::cout << "sampled path stress: " << sps.value << "  [" << sps.ci_low
               << ", " << sps.ci_high << "]\n";

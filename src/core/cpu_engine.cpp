@@ -1,52 +1,97 @@
 #include "core/cpu_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "core/schedule.hpp"
 #include "core/step_math.hpp"
+#include "core/term_batch.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace pgl::core {
 
 namespace {
 
+/// Terms per TermBatch slice in the batched engine: big enough to amortize
+/// the buffer bookkeeping, small enough that a slice's updates stay hot in
+/// L1/L2 before the next slice is sampled.
+constexpr std::size_t kBatchSlice = 1024;
+
 template <typename Store>
-void run_worker(const PairSampler& sampler, const LayoutConfig& cfg,
-                const std::vector<double>& etas, Store& store,
-                rng::Xoshiro256Plus rng, std::uint64_t steps_per_iter,
-                std::atomic<std::uint64_t>& skipped_total) {
+std::uint64_t run_scalar_iter(const PairSampler& sampler, double eta,
+                              bool cooling_iter, Store& store,
+                              rng::Xoshiro256Plus& rng, std::uint64_t steps) {
     std::uint64_t skipped = 0;
-    for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
-        const double eta = etas[iter];
-        const bool cooling_iter = cfg.cooling(iter);
-        for (std::uint64_t s = 0; s < steps_per_iter; ++s) {
-            const TermSample t = sampler.sample(cooling_iter, rng);
-            if (!t.valid) {
-                ++skipped;
-                continue;
-            }
-            const float xi = store.load_x(t.node_i, t.end_i);
-            const float yi = store.load_y(t.node_i, t.end_i);
-            const float xj = store.load_x(t.node_j, t.end_j);
-            const float yj = store.load_y(t.node_j, t.end_j);
-            const double nudge = (rng.next_double() - 0.5) * 1e-3;
-            const PointDelta d =
-                sgd_term_update(xi, yi, xj, yj, t.d_ref, eta,
-                                nudge == 0.0 ? 1e-4 : nudge);
-            store.store_x(t.node_i, t.end_i, xi + d.dx_i);
-            store.store_y(t.node_i, t.end_i, yi + d.dy_i);
-            store.store_x(t.node_j, t.end_j, xj + d.dx_j);
-            store.store_y(t.node_j, t.end_j, yj + d.dy_j);
+    for (std::uint64_t s = 0; s < steps; ++s) {
+        const TermSample t = sampler.sample(cooling_iter, rng);
+        if (!t.valid) {
+            ++skipped;
+            continue;
         }
+        const float xi = store.load_x(t.node_i, t.end_i);
+        const float yi = store.load_y(t.node_i, t.end_i);
+        const float xj = store.load_x(t.node_j, t.end_j);
+        const float yj = store.load_y(t.node_j, t.end_j);
+        const PointDelta d =
+            sgd_term_update(xi, yi, xj, yj, t.d_ref, eta, draw_nudge(rng));
+        store.store_x(t.node_i, t.end_i, xi + d.dx_i);
+        store.store_y(t.node_i, t.end_i, yi + d.dy_i);
+        store.store_x(t.node_j, t.end_j, xj + d.dx_j);
+        store.store_y(t.node_j, t.end_j, yj + d.dy_j);
     }
-    skipped_total.fetch_add(skipped, std::memory_order_relaxed);
+    return skipped;
+}
+
+template <typename Store>
+void apply_batch(const TermBatch& b, double eta, Store& store) {
+    for (std::size_t k = 0; k < b.size(); ++k) {
+        if (!b.valid[k]) continue;
+        const End ei = b.end_i_of(k);
+        const End ej = b.end_j_of(k);
+        const float xi = store.load_x(b.node_i[k], ei);
+        const float yi = store.load_y(b.node_i[k], ei);
+        const float xj = store.load_x(b.node_j[k], ej);
+        const float yj = store.load_y(b.node_j[k], ej);
+        const PointDelta d =
+            sgd_term_update(xi, yi, xj, yj, b.d_ref[k], eta, b.nudge[k]);
+        store.store_x(b.node_i[k], ei, xi + d.dx_i);
+        store.store_y(b.node_i[k], ei, yi + d.dy_i);
+        store.store_x(b.node_j[k], ej, xj + d.dx_j);
+        store.store_y(b.node_j[k], ej, yj + d.dy_j);
+    }
+}
+
+template <typename Store>
+std::uint64_t run_batched_iter(const PairSampler& sampler, double eta,
+                               bool cooling_iter, Store& store,
+                               rng::Xoshiro256Plus& rng, std::uint64_t steps,
+                               TermBatch& batch) {
+    std::uint64_t skipped = 0;
+    for (std::uint64_t left = steps; left > 0;) {
+        const std::size_t n =
+            static_cast<std::size_t>(std::min<std::uint64_t>(kBatchSlice, left));
+        batch.clear();
+        skipped += sampler.fill_batch(cooling_iter, rng, n, batch);
+        apply_batch(batch, eta, store);
+        left -= n;
+    }
+    return skipped;
+}
+
+/// Exact per-thread share of the iteration's N_steps: the remainder goes to
+/// the first threads, so the shares sum to n_steps (no rounding up — the
+/// reported update count matches the steps actually executed).
+std::uint64_t thread_share(std::uint64_t n_steps, std::uint32_t n_threads,
+                           std::uint32_t tid) {
+    return n_steps / n_threads + (tid < n_steps % n_threads ? 1 : 0);
 }
 
 template <typename Store>
 LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
-                        Store& store) {
+                        Store& store, bool batched, const ProgressHook& hook) {
     LayoutResult result;
     result.eta_schedule = make_eta_schedule(
         cfg.schedule_length(), cfg.eps,
@@ -55,48 +100,142 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
     const PairSampler sampler(g, cfg);
     const std::uint64_t n_steps = cfg.steps_per_iteration(g.total_path_steps());
     const std::uint32_t n_threads = cfg.threads == 0 ? 1 : cfg.threads;
-    const std::uint64_t per_thread = (n_steps + n_threads - 1) / n_threads;
 
     std::atomic<std::uint64_t> skipped{0};
     rng::Xoshiro256Plus seeder(cfg.seed);
 
+    const auto emit = [&](std::uint32_t iter, std::uint64_t iter_skipped) {
+        if (!hook) return;
+        IterationStats s;
+        s.iteration = iter;
+        s.iter_max = cfg.iter_max;
+        s.eta = result.eta_schedule[iter];
+        s.updates = n_steps;
+        s.skipped = iter_skipped;
+        hook(s);
+    };
+
     const auto t0 = std::chrono::steady_clock::now();
     if (n_threads == 1) {
-        run_worker(sampler, cfg, result.eta_schedule, store, seeder, n_steps,
-                   skipped);
-        result.updates = static_cast<std::uint64_t>(cfg.iter_max) * n_steps;
-    } else {
+        rng::Xoshiro256Plus rng = seeder;
+        TermBatch batch;
+        batch.reserve(kBatchSlice);
+        for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+            const double eta = result.eta_schedule[iter];
+            const bool cooling_iter = cfg.cooling(iter);
+            const std::uint64_t sk =
+                batched ? run_batched_iter(sampler, eta, cooling_iter, store,
+                                           rng, n_steps, batch)
+                        : run_scalar_iter(sampler, eta, cooling_iter, store,
+                                          rng, n_steps);
+            skipped.fetch_add(sk, std::memory_order_relaxed);
+            emit(iter, sk);
+        }
+    } else if (!batched) {
+        // Hogwild: every worker runs the whole schedule without barriers.
         std::vector<std::thread> workers;
         workers.reserve(n_threads);
         for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
             rng::Xoshiro256Plus rng = seeder;
             for (std::uint32_t j = 0; j < tid; ++j) rng.jump();
-            workers.emplace_back([&, rng] {
-                run_worker(sampler, cfg, result.eta_schedule, store, rng,
-                           per_thread, skipped);
+            const std::uint64_t share = thread_share(n_steps, n_threads, tid);
+            workers.emplace_back([&, rng, share]() mutable {
+                std::uint64_t sk = 0;
+                for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+                    sk += run_scalar_iter(sampler, result.eta_schedule[iter],
+                                          cfg.cooling(iter), store, rng, share);
+                }
+                skipped.fetch_add(sk, std::memory_order_relaxed);
             });
         }
         for (auto& w : workers) w.join();
-        result.updates =
-            static_cast<std::uint64_t>(cfg.iter_max) * per_thread * n_threads;
+    } else {
+        // Batched: iteration-synchronous — workers process their share of
+        // the iteration in TermBatch slices and join at the iteration
+        // barrier, the execution shape sharded/SIMD backends will reuse.
+        std::vector<rng::Xoshiro256Plus> rngs;
+        rngs.reserve(n_threads);
+        for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
+            rngs.push_back(seeder);
+            for (std::uint32_t j = 0; j < tid; ++j) rngs.back().jump();
+        }
+        std::vector<TermBatch> batches(n_threads);
+        for (auto& b : batches) b.reserve(kBatchSlice);
+        for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+            const double eta = result.eta_schedule[iter];
+            const bool cooling_iter = cfg.cooling(iter);
+            std::atomic<std::uint64_t> iter_skipped{0};
+            std::vector<std::thread> workers;
+            workers.reserve(n_threads);
+            for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
+                const std::uint64_t share = thread_share(n_steps, n_threads, tid);
+                workers.emplace_back([&, tid, share] {
+                    const std::uint64_t sk =
+                        run_batched_iter(sampler, eta, cooling_iter, store,
+                                         rngs[tid], share, batches[tid]);
+                    iter_skipped.fetch_add(sk, std::memory_order_relaxed);
+                });
+            }
+            for (auto& w : workers) w.join();
+            skipped.fetch_add(iter_skipped.load(), std::memory_order_relaxed);
+            emit(iter, iter_skipped.load());
+        }
     }
     const auto t1 = std::chrono::steady_clock::now();
     result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    result.updates = static_cast<std::uint64_t>(cfg.iter_max) * n_steps;
     result.skipped = skipped.load();
     result.layout = store.snapshot();
     return result;
 }
 
+LayoutResult run_layout_from(const graph::LeanGraph& g, const LayoutConfig& cfg,
+                             const Layout& initial, CoordStore store,
+                             bool batched, const ProgressHook& hook) {
+    if (store == CoordStore::kAoS) {
+        LayoutAoS s(initial, g);
+        return run_layout(g, cfg, s, batched, hook);
+    }
+    LayoutSoA s(initial);
+    return run_layout(g, cfg, s, batched, hook);
+}
+
+class CpuLayoutEngine final : public LayoutEngine {
+public:
+    CpuLayoutEngine(CoordStore store, bool batched)
+        : store_(store), batched_(batched) {}
+
+    std::string_view name() const noexcept override {
+        if (batched_) return "cpu-batched";
+        return store_ == CoordStore::kAoS ? "cpu-aos" : "cpu-soa";
+    }
+
+protected:
+    LayoutResult do_run(const LayoutConfig& cfg) override {
+        rng::Xoshiro256Plus init_rng(cfg.seed ^ 0xa02bdbf7bb3c0a7ULL);
+        const Layout initial =
+            make_linear_initial_layout(*graph_, init_rng, cfg.init_jitter);
+        ProgressHook hook;
+        if (has_progress_hook()) {
+            hook = [this](const IterationStats& s) { emit_progress(s); };
+        }
+        return run_layout_from(*graph_, cfg, initial, store_, batched_, hook);
+    }
+
+private:
+    CoordStore store_;
+    bool batched_;
+};
+
 }  // namespace
+
+std::unique_ptr<LayoutEngine> make_cpu_engine(CoordStore store, bool batched) {
+    return std::make_unique<CpuLayoutEngine>(store, batched);
+}
 
 LayoutResult layout_cpu_from(const graph::LeanGraph& g, const LayoutConfig& cfg,
                              const Layout& initial, CoordStore store) {
-    if (store == CoordStore::kAoS) {
-        LayoutAoS s(initial, g);
-        return run_layout(g, cfg, s);
-    }
-    LayoutSoA s(initial);
-    return run_layout(g, cfg, s);
+    return run_layout_from(g, cfg, initial, store, /*batched=*/false, {});
 }
 
 LayoutResult layout_cpu(const graph::LeanGraph& g, const LayoutConfig& cfg,

@@ -1,38 +1,42 @@
 #pragma once
-// The multithreaded CPU baseline (paper Sec. III): PG-SGD with Hogwild!
+// The multithreaded CPU backends (paper Sec. III): PG-SGD with Hogwild!
 // asynchronous updates. Each worker owns a jumped Xoshiro256+ stream and
 // performs its share of the N_steps updates of every iteration without
 // locking; the graph's extreme sparsity makes collisions harmless, exactly
 // the argument of Sec. III-A.
 //
-// The engine is parameterized on the coordinate store so the same code runs
+// Two execution styles share the storage-templated update code:
+//   * scalar — the legacy per-term loop (sample, update, repeat);
+//   * batched — each worker fills a TermBatch per slice via
+//     PairSampler::fill_batch and then applies it, the repo's first step
+//     toward SIMD/sharded execution. With one thread and the same seed the
+//     batched engine replays the scalar engine's exact PRNG stream, so the
+//     two produce bit-identical layouts.
+//
+// Both are parameterized on the coordinate store so the same code runs
 // with the original SoA organization and with the cache-friendly AoS
 // organization (the "CPU w/ cache-friendly data layout" bar of Fig. 16).
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "core/config.hpp"
+#include "core/engine.hpp"
 #include "core/layout.hpp"
-#include "core/sampling.hpp"
 #include "graph/lean_graph.hpp"
 
 namespace pgl::core {
-
-struct LayoutResult {
-    Layout layout;
-    double seconds = 0.0;             ///< wall-clock time of the SGD loop
-    std::uint64_t updates = 0;        ///< terms processed (including skipped)
-    std::uint64_t skipped = 0;        ///< degenerate terms (d_ref == 0 etc.)
-    std::vector<double> eta_schedule; ///< learning rate used per iteration
-};
 
 enum class CoordStore : std::uint8_t {
     kSoA,  ///< original ODGI organization (separate X / Y / length arrays)
     kAoS,  ///< cache-friendly data layout (packed node records)
 };
 
+/// Creates a CPU layout engine ("cpu-soa" / "cpu-aos" / "cpu-batched").
+std::unique_ptr<LayoutEngine> make_cpu_engine(CoordStore store, bool batched);
+
 /// Runs the full PG-SGD loop on the CPU and returns the final layout.
-/// Deterministic for cfg.threads == 1 and a fixed seed.
+/// Deterministic for cfg.threads == 1 and a fixed seed. Thin wrapper over
+/// the scalar CPU engine, kept for compatibility.
 LayoutResult layout_cpu(const graph::LeanGraph& g, const LayoutConfig& cfg,
                         CoordStore store = CoordStore::kSoA);
 

@@ -1,0 +1,91 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/cpu_engine.hpp"
+#include "gpusim/gpu_machine.hpp"
+#include "gpusim/gpu_spec.hpp"
+#include "tensor/torch_layout.hpp"
+
+namespace pgl::core {
+
+LayoutResult LayoutEngine::run(std::uint32_t iterations) {
+    if (graph_ == nullptr) {
+        throw std::logic_error("LayoutEngine::run() called before init()");
+    }
+    LayoutConfig cfg = cfg_;
+    if (iterations != 0) {
+        // A truncated run of the *same* annealing schedule: pin the
+        // schedule to the configured length before shortening the run,
+        // otherwise the eta decay would compress into the override.
+        if (cfg.schedule_iter_max == 0) cfg.schedule_iter_max = cfg_.schedule_length();
+        cfg.iter_max = iterations;
+    }
+    return do_run(cfg);
+}
+
+EngineRegistry& EngineRegistry::instance() {
+    static EngineRegistry registry = [] {
+        EngineRegistry r;
+        r.add("cpu-soa", [] { return make_cpu_engine(CoordStore::kSoA, false); });
+        r.add("cpu-aos", [] { return make_cpu_engine(CoordStore::kAoS, false); });
+        r.add("cpu-batched",
+              [] { return make_cpu_engine(CoordStore::kSoA, true); });
+        r.add("gpusim-base", [] {
+            return gpusim::make_gpusim_engine(gpusim::KernelConfig::base(),
+                                              gpusim::rtx_a6000());
+        });
+        r.add("gpusim-optimized", [] {
+            return gpusim::make_gpusim_engine(gpusim::KernelConfig::optimized(),
+                                              gpusim::rtx_a6000());
+        });
+        r.add("torch", [] { return tensor::make_torch_engine(); });
+        return r;
+    }();
+    return registry;
+}
+
+void EngineRegistry::add(std::string name, Factory factory) {
+    for (auto& [existing, f] : factories_) {
+        if (existing == name) {
+            f = std::move(factory);
+            return;
+        }
+    }
+    factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool EngineRegistry::contains(const std::string& name) const {
+    return std::any_of(factories_.begin(), factories_.end(),
+                       [&](const auto& e) { return e.first == name; });
+}
+
+std::unique_ptr<LayoutEngine> EngineRegistry::create(const std::string& name) const {
+    for (const auto& [key, factory] : factories_) {
+        if (key == name) return factory();
+    }
+    return nullptr;
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [key, factory] : factories_) out.push_back(key);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::unique_ptr<LayoutEngine> make_engine(const std::string& name) {
+    auto engine = EngineRegistry::instance().create(name);
+    if (!engine) {
+        std::ostringstream msg;
+        msg << "unknown layout engine \"" << name << "\"; available:";
+        for (const auto& n : EngineRegistry::instance().names()) msg << " " << n;
+        throw std::invalid_argument(msg.str());
+    }
+    return engine;
+}
+
+}  // namespace pgl::core

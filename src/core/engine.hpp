@@ -1,0 +1,133 @@
+#pragma once
+// The pluggable layout-engine interface. The paper's central comparison is
+// one algorithm (PG-SGD, Alg. 1) executed by several machines — the
+// multithreaded CPU Hogwild baseline, a PyTorch-style batched
+// implementation and the optimized CUDA kernel (simulated here). Every
+// backend implements this interface (init -> run(iterations) ->
+// LayoutResult) and is created by name through the EngineRegistry, so
+// tools, benches and cross-backend experiments drive all of them through
+// one seam.
+//
+// Built-in registry names:
+//   "cpu-soa"           scalar Hogwild CPU engine, original SoA store
+//   "cpu-aos"           scalar Hogwild CPU engine, cache-friendly AoS store
+//   "cpu-batched"       batched CPU engine (one TermBatch per worker slice)
+//   "gpusim-base"       simulated CUDA kernel, no optimizations
+//   "gpusim-optimized"  simulated CUDA kernel, CDL + CRS + WM
+//   "torch"             PyTorch-style batched tensor implementation
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/layout.hpp"
+#include "graph/lean_graph.hpp"
+
+namespace pgl::core {
+
+struct LayoutResult {
+    Layout layout;
+    double seconds = 0.0;             ///< wall-clock of the SGD loop (modeled
+                                      ///< device time for gpusim/torch)
+    std::uint64_t updates = 0;        ///< terms processed (including skipped)
+    std::uint64_t skipped = 0;        ///< degenerate terms (d_ref == 0 etc.)
+    std::vector<double> eta_schedule; ///< learning rate used per iteration
+};
+
+/// Per-iteration progress snapshot passed to the progress hook.
+struct IterationStats {
+    std::uint32_t iteration = 0;      ///< 0-based iteration just finished
+    std::uint32_t iter_max = 0;       ///< iterations in this run
+    double eta = 0.0;                 ///< learning rate of the iteration
+    std::uint64_t updates = 0;        ///< terms processed this iteration
+    std::uint64_t skipped = 0;        ///< degenerate terms this iteration
+};
+
+using ProgressHook = std::function<void(const IterationStats&)>;
+
+/// Abstract PG-SGD execution machine. Usage:
+///
+///   auto eng = core::make_engine("cpu-batched");
+///   eng->init(graph, cfg);
+///   eng->set_progress_hook([](const auto& s) { ... });  // optional
+///   auto result = eng->run();          // full schedule (cfg.iter_max)
+///   auto probe  = eng->run(3);         // or a truncated run
+///
+/// Iteration-synchronous engines (cpu-batched, gpusim-*, torch, and the
+/// scalar CPU engine with one thread) invoke the progress hook after every
+/// iteration; the multithreaded Hogwild scalar path runs its workers
+/// through the whole schedule without barriers — exactly as odgi-layout
+/// does — so it reports no per-iteration progress.
+class LayoutEngine {
+public:
+    virtual ~LayoutEngine() = default;
+
+    virtual std::string_view name() const noexcept = 0;
+
+    /// Binds the engine to a graph and configuration. Must be called before
+    /// run(); may be called again to re-target the engine.
+    void init(const graph::LeanGraph& g, const LayoutConfig& cfg) {
+        graph_ = &g;
+        cfg_ = cfg;
+        do_init();
+    }
+
+    /// Executes the schedule and returns the final layout. `iterations`
+    /// overrides cfg.iter_max when nonzero (a truncated run of the same
+    /// annealing schedule). Throws std::logic_error if init() was not
+    /// called.
+    LayoutResult run(std::uint32_t iterations = 0);
+
+    void set_progress_hook(ProgressHook hook) { hook_ = std::move(hook); }
+
+protected:
+    virtual void do_init() {}
+    virtual LayoutResult do_run(const LayoutConfig& cfg) = 0;
+
+    void emit_progress(const IterationStats& stats) const {
+        if (hook_) hook_(stats);
+    }
+    bool has_progress_hook() const noexcept { return static_cast<bool>(hook_); }
+
+    const graph::LeanGraph* graph_ = nullptr;
+    LayoutConfig cfg_{};
+
+private:
+    ProgressHook hook_;
+};
+
+/// String-keyed factory registry of layout engines. The built-in backends
+/// are registered on first use; additional engines (future: real CUDA,
+/// sharded, async) can be registered at startup by name.
+class EngineRegistry {
+public:
+    using Factory = std::function<std::unique_ptr<LayoutEngine>()>;
+
+    /// The process-wide registry, with all built-in engines registered.
+    static EngineRegistry& instance();
+
+    /// Registers (or replaces) a factory under `name`.
+    void add(std::string name, Factory factory);
+
+    bool contains(const std::string& name) const;
+
+    /// Creates a fresh engine, or nullptr for an unknown name.
+    std::unique_ptr<LayoutEngine> create(const std::string& name) const;
+
+    /// All registered names, sorted.
+    std::vector<std::string> names() const;
+
+private:
+    EngineRegistry() = default;
+
+    std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+/// Convenience: creates a registered engine or throws std::invalid_argument
+/// listing the available names.
+std::unique_ptr<LayoutEngine> make_engine(const std::string& name);
+
+}  // namespace pgl::core

@@ -18,6 +18,8 @@
 
 namespace pgl::core {
 
+struct TermBatch;  // core/term_batch.hpp — the shared batched term buffer
+
 /// One sampled stress term: two steps on one path plus chosen endpoints and
 /// the reference (path-nucleotide) distance between the chosen points.
 struct TermSample {
@@ -127,6 +129,17 @@ public:
         t.valid = true;
         return t;
     }
+
+    /// Draws up to `n` terms into `out` (appending; invalid terms keep
+    /// their slot with valid == 0) and returns how many were degenerate.
+    /// When `with_nudge` is set, one extra uniform draw per *valid* term
+    /// produces the coincident-point nudge — consuming the PRNG stream
+    /// exactly as the scalar CPU update loop does, so a batched run with
+    /// the same seed replays the identical term-and-nudge sequence.
+    /// Defined in core/term_batch.hpp.
+    template <typename Rng>
+    std::uint64_t fill_batch(bool cooling_iter, Rng& rng, std::size_t n,
+                             TermBatch& out, bool with_nudge = true) const;
 
 private:
     const graph::LeanGraph* g_;

@@ -14,6 +14,17 @@ struct PointDelta {
     double stress;     // the term's stress value before the update
 };
 
+/// Draws the small nonzero coincident-point separation passed to
+/// sgd_term_update. One definition for every consumer (scalar CPU loop,
+/// PairSampler::fill_batch, GPU simulator): the batched engine's
+/// bit-identical-to-scalar guarantee requires all of them to consume the
+/// PRNG identically.
+template <typename Rng>
+double draw_nudge(Rng& rng) noexcept {
+    const double n = (rng.next_double() - 0.5) * 1e-3;
+    return n == 0.0 ? 1e-4 : n;
+}
+
 /// Computes the update for one term.
 /// `eta` is the current learning rate; the per-term weight is 1/d_ref^2 and
 /// the combined step size mu = eta * w is clamped to 1 as in Zheng et al.

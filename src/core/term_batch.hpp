@@ -1,0 +1,118 @@
+#pragma once
+// The batched term pipeline shared by every PG-SGD backend. A TermBatch is
+// a plain SoA buffer of sampled stress terms: the CPU workers process one
+// batch per slice, the GPU simulator fills one batch per warp step (one
+// slot per lane), the tensor backend turns a batch into its gather/scatter
+// index tensors, and the memory-characterization replayer walks a batch to
+// reproduce the update loop's address stream. All four therefore consume
+// the identical term representation instead of private per-term loops.
+//
+// Invalid (degenerate) terms keep their slot with valid == 0 so that
+// slot-indexed consumers (the warp simulator pairs slot k with lane k) see
+// holes exactly where the scalar path would have skipped.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/sampling.hpp"
+#include "core/step_math.hpp"
+
+namespace pgl::core {
+
+struct TermBatch {
+    // Sampled path/step identities (needed by the memory-modelling
+    // backends, which replay the address stream of the step lookups).
+    std::vector<std::uint32_t> path;
+    std::vector<std::uint32_t> step_i, step_j;
+
+    // The update's operands: node ids, chosen segment endpoints, reference
+    // distance and the coincident-point separation nudge.
+    std::vector<std::uint32_t> node_i, node_j;
+    std::vector<std::uint8_t> end_i, end_j;
+    std::vector<std::uint64_t> pos_i, pos_j;
+    std::vector<double> d_ref;
+    std::vector<double> nudge;
+
+    std::vector<std::uint8_t> valid;
+    std::vector<std::uint8_t> took_cooling;
+
+    std::size_t size() const noexcept { return d_ref.size(); }
+    bool empty() const noexcept { return d_ref.empty(); }
+
+    void clear() noexcept {
+        path.clear();
+        step_i.clear();
+        step_j.clear();
+        node_i.clear();
+        node_j.clear();
+        end_i.clear();
+        end_j.clear();
+        pos_i.clear();
+        pos_j.clear();
+        d_ref.clear();
+        nudge.clear();
+        valid.clear();
+        took_cooling.clear();
+    }
+
+    void reserve(std::size_t n) {
+        path.reserve(n);
+        step_i.reserve(n);
+        step_j.reserve(n);
+        node_i.reserve(n);
+        node_j.reserve(n);
+        end_i.reserve(n);
+        end_j.reserve(n);
+        pos_i.reserve(n);
+        pos_j.reserve(n);
+        d_ref.reserve(n);
+        nudge.reserve(n);
+        valid.reserve(n);
+        took_cooling.reserve(n);
+    }
+
+    /// Appends one sampled term (valid or not) with its update nudge.
+    void append(const TermSample& t, double n) {
+        path.push_back(t.path);
+        step_i.push_back(t.step_i);
+        step_j.push_back(t.step_j);
+        node_i.push_back(t.node_i);
+        node_j.push_back(t.node_j);
+        end_i.push_back(static_cast<std::uint8_t>(t.end_i));
+        end_j.push_back(static_cast<std::uint8_t>(t.end_j));
+        pos_i.push_back(t.pos_i);
+        pos_j.push_back(t.pos_j);
+        d_ref.push_back(t.d_ref);
+        nudge.push_back(n);
+        valid.push_back(t.valid ? 1 : 0);
+        took_cooling.push_back(t.took_cooling ? 1 : 0);
+    }
+
+    End end_i_of(std::size_t k) const noexcept { return static_cast<End>(end_i[k]); }
+    End end_j_of(std::size_t k) const noexcept { return static_cast<End>(end_j[k]); }
+
+    std::uint64_t invalid_count() const noexcept {
+        std::uint64_t n = 0;
+        for (const std::uint8_t v : valid) n += (v == 0);
+        return n;
+    }
+};
+
+template <typename Rng>
+std::uint64_t PairSampler::fill_batch(bool cooling_iter, Rng& rng, std::size_t n,
+                                      TermBatch& out, bool with_nudge) const {
+    std::uint64_t skipped = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const TermSample t = sample(cooling_iter, rng);
+        double nd = 0.0;
+        if (!t.valid) {
+            ++skipped;
+        } else if (with_nudge) {
+            nd = draw_nudge(rng);
+        }
+        out.append(t, nd);
+    }
+    return skipped;
+}
+
+}  // namespace pgl::core

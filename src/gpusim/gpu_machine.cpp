@@ -8,6 +8,7 @@
 #include "core/sampling.hpp"
 #include "core/schedule.hpp"
 #include "core/step_math.hpp"
+#include "core/term_batch.hpp"
 #include "memsim/cache.hpp"
 #include "rng/xorwow.hpp"
 #include "rng/xoshiro256.hpp"
@@ -108,11 +109,6 @@ private:
     std::vector<std::uint64_t> sectors_;  // scratch
 };
 
-struct LaneWork {
-    TermSample term;
-    std::uint64_t global_lane;
-};
-
 }  // namespace
 
 double model_time_seconds(const GpuCounters& c, const GpuSpec& spec) {
@@ -169,9 +165,13 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
     const std::uint64_t warp_steps_per_iter =
         (lane_steps_per_iter + warp_size - 1) / warp_size;
 
-    std::vector<LaneWork> lanes(warp_size);
+    // One TermBatch per warp step, one slot per lane: the same batched term
+    // representation every other backend consumes. Invalid terms keep their
+    // slot so lane indexing (including the DRF cross-lane pairing) is
+    // preserved.
+    core::TermBatch batch;
+    batch.reserve(warp_size);
     std::vector<std::uint64_t> addrs(warp_size);
-    std::vector<std::uint64_t> addr_subset;
     const std::uint32_t period = std::max<std::uint32_t>(1, opt.counter_sample_period);
 
     // One kernel launch per iteration plus one initialization launch
@@ -181,6 +181,8 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
     for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
         const double eta = etas.empty() ? 0.0 : etas[iter];
         const bool cooling_iter = cfg.cooling(iter);
+        const std::uint64_t iter_updates0 = c.lane_updates;
+        const std::uint64_t iter_skipped0 = c.skipped_terms;
 
         for (std::uint64_t ws = 0; ws < warp_steps_per_iter; ++ws) {
             const std::uint32_t warp =
@@ -195,6 +197,7 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
                 warp_branch = control.flip_coin();
             }
             std::uint32_t cooling_lanes = 0;
+            batch.clear();
             for (std::uint32_t l = 0; l < warp_size; ++l) {
                 const std::uint64_t gl = std::uint64_t(warp) * warp_size + l;
                 rng::XorwowRng rng(states[gl]);
@@ -202,48 +205,53 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
                                    ? sampler.sample_branch(warp_branch, rng)
                                    : sampler.sample(cooling_iter, rng);
                 cooling_lanes += t.took_cooling ? 1 : 0;
-                lanes[l] = LaneWork{t, gl};
+                if (!t.valid) ++c.skipped_terms;
+                // The nudge is drawn from the lane RNG at update time (one
+                // per functional update, like the real kernel), so the
+                // batch slot carries none.
+                batch.append(t, 0.0);
             }
 
             // --- Functional updates (DRF extra updates reuse warp data) ---
             for (std::uint32_t r = 0; r < drf; ++r) {
                 for (std::uint32_t l = 0; l < warp_size; ++l) {
-                    const TermSample& a = lanes[l].term;
-                    if (!a.valid) continue;
+                    if (!batch.valid[l]) continue;
+                    const std::uint32_t ni = batch.node_i[l];
+                    const End ei = batch.end_i_of(l);
                     std::uint32_t nj;
                     End ej;
                     double d_ref;
                     if (r == 0) {
-                        nj = a.node_j;
-                        ej = a.end_j;
-                        d_ref = a.d_ref;
+                        nj = batch.node_j[l];
+                        ej = batch.end_j_of(l);
+                        d_ref = batch.d_ref[l];
                     } else {
                         // Warp-shuffle reuse: pair this lane's first node
                         // with a partner lane's second node. Positions are
                         // path-relative, so cross-lane d_ref is only
                         // approximate — the quality cost the Fig. 17 DSE
                         // measures.
-                        const TermSample& b = lanes[(l + r * 7) % warp_size].term;
-                        if (!b.valid) continue;
-                        nj = b.node_j;
-                        ej = b.end_j;
-                        const std::uint64_t d = a.pos_i > b.pos_j
-                                                    ? a.pos_i - b.pos_j
-                                                    : b.pos_j - a.pos_i;
+                        const std::uint32_t p = (l + r * 7) % warp_size;
+                        if (!batch.valid[p]) continue;
+                        nj = batch.node_j[p];
+                        ej = batch.end_j_of(p);
+                        const std::uint64_t d =
+                            batch.pos_i[l] > batch.pos_j[p]
+                                ? batch.pos_i[l] - batch.pos_j[p]
+                                : batch.pos_j[p] - batch.pos_i[l];
                         if (d == 0) continue;
                         d_ref = static_cast<double>(d);
                     }
-                    const float xi = store.load_x(a.node_i, a.end_i);
-                    const float yi = store.load_y(a.node_i, a.end_i);
+                    const float xi = store.load_x(ni, ei);
+                    const float yi = store.load_y(ni, ei);
                     const float xj = store.load_x(nj, ej);
                     const float yj = store.load_y(nj, ej);
-                    rng::XorwowRng rng(states[lanes[l].global_lane]);
-                    const double nudge = (rng.next_double() - 0.5) * 1e-3;
+                    rng::XorwowRng rng(
+                        states[std::uint64_t(warp) * warp_size + l]);
                     const auto d = core::sgd_term_update(
-                        xi, yi, xj, yj, d_ref, eta,
-                        nudge == 0.0 ? 1e-4 : nudge);
-                    store.store_x(a.node_i, a.end_i, xi + d.dx_i);
-                    store.store_y(a.node_i, a.end_i, yi + d.dy_i);
+                        xi, yi, xj, yj, d_ref, eta, core::draw_nudge(rng));
+                    store.store_x(ni, ei, xi + d.dx_i);
+                    store.store_y(ni, ei, yi + d.dy_i);
                     store.store_x(nj, ej, xj + d.dx_j);
                     store.store_y(nj, ej, yj + d.dy_j);
                     ++c.lane_updates;
@@ -305,14 +313,12 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
             // Path-selection alias-table lookups.
             addrs.clear();
             for (std::uint32_t l = 0; l < warp_size; ++l) {
-                addrs.push_back(kBaseAliasProb +
-                                std::uint64_t(lanes[l].term.path) * 8);
+                addrs.push_back(kBaseAliasProb + std::uint64_t(batch.path[l]) * 8);
             }
             mem.issue(sm, addrs, 8, c);
             addrs.clear();
             for (std::uint32_t l = 0; l < warp_size; ++l) {
-                addrs.push_back(kBaseAliasAlias +
-                                std::uint64_t(lanes[l].term.path) * 4);
+                addrs.push_back(kBaseAliasAlias + std::uint64_t(batch.path[l]) * 4);
             }
             mem.issue(sm, addrs, 4, c);
 
@@ -322,10 +328,10 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
                 if (kernel.cache_friendly_layout) {
                     addrs.clear();
                     for (std::uint32_t l = 0; l < warp_size; ++l) {
-                        const TermSample& t = lanes[l].term;
-                        if (!t.valid) continue;
+                        if (!batch.valid[l]) continue;
                         const std::uint64_t flat = g.flat_step_index(
-                            t.path, second ? t.step_j : t.step_i);
+                            batch.path[l],
+                            second ? batch.step_j[l] : batch.step_i[l]);
                         addrs.push_back(kBaseStepRec + flat * kStepRecBytes);
                     }
                     if (!addrs.empty()) mem.issue(sm, addrs, kStepRecBytes, c);
@@ -337,10 +343,10 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
                 for (int part = 0; part < 3; ++part) {
                     addrs.clear();
                     for (std::uint32_t l = 0; l < warp_size; ++l) {
-                        const TermSample& t = lanes[l].term;
-                        if (!t.valid) continue;
+                        if (!batch.valid[l]) continue;
                         const std::uint64_t flat = g.flat_step_index(
-                            t.path, second ? t.step_j : t.step_i);
+                            batch.path[l],
+                            second ? batch.step_j[l] : batch.step_i[l]);
                         addrs.push_back(bases[part] + flat * sizes[part]);
                     }
                     if (!addrs.empty()) mem.issue(sm, addrs, sizes[part], c);
@@ -357,9 +363,9 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
                     for (int rw = 0; rw < 2; ++rw) {
                         addrs.clear();
                         for (std::uint32_t l = 0; l < warp_size; ++l) {
-                            const TermSample& t = lanes[l].term;
-                            if (!t.valid) continue;
-                            const std::uint32_t n = second ? t.node_j : t.node_i;
+                            if (!batch.valid[l]) continue;
+                            const std::uint32_t n =
+                                second ? batch.node_j[l] : batch.node_i[l];
                             addrs.push_back(kBaseNodeRec +
                                             std::uint64_t(n) * kNodeRecBytes);
                         }
@@ -371,10 +377,11 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
                 for (int part = 0; part < 5; ++part) {
                     addrs.clear();
                     for (std::uint32_t l = 0; l < warp_size; ++l) {
-                        const TermSample& t = lanes[l].term;
-                        if (!t.valid) continue;
-                        const std::uint32_t n = second ? t.node_j : t.node_i;
-                        const End e = second ? t.end_j : t.end_i;
+                        if (!batch.valid[l]) continue;
+                        const std::uint32_t n =
+                            second ? batch.node_j[l] : batch.node_i[l];
+                        const End e =
+                            second ? batch.end_j_of(l) : batch.end_i_of(l);
                         const std::uint64_t idx =
                             2 * std::uint64_t(n) + static_cast<std::uint64_t>(e);
                         switch (part) {
@@ -396,6 +403,16 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
             issue_coords(false);
             issue_coords(true);
         }
+
+        if (opt.progress) {
+            core::IterationStats s;
+            s.iteration = iter;
+            s.iter_max = cfg.iter_max;
+            s.eta = eta;
+            s.updates = c.lane_updates - iter_updates0;
+            s.skipped = c.skipped_terms - iter_skipped0;
+            opt.progress(s);
+        }
     }
 
     // Scale the sampled memory counters back to the full step count.
@@ -407,11 +424,62 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
     c.dram_sectors *= period;
 
     out.layout = store.snapshot();
+    out.eta_schedule = etas;
     out.modeled_seconds = model_time_seconds(c, spec);
     out.sim_wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)
             .count();
     return out;
+}
+
+namespace {
+
+class GpuSimEngine final : public core::LayoutEngine {
+public:
+    GpuSimEngine(const KernelConfig& kernel, const GpuSpec& spec,
+                 const SimOptions& opt)
+        : kernel_(kernel), spec_(spec), opt_(opt) {
+        const bool optimized = kernel.cache_friendly_layout &&
+                               kernel.coalesced_rng && kernel.warp_merge;
+        const bool base = !kernel.cache_friendly_layout &&
+                          !kernel.coalesced_rng && !kernel.warp_merge;
+        name_ = optimized ? "gpusim-optimized"
+                          : (base ? "gpusim-base" : "gpusim-custom");
+    }
+
+    std::string_view name() const noexcept override { return name_; }
+
+protected:
+    core::LayoutResult do_run(const core::LayoutConfig& cfg) override {
+        SimOptions opt = opt_;
+        if (has_progress_hook()) {
+            opt.progress = [this](const core::IterationStats& s) {
+                emit_progress(s);
+            };
+        }
+        GpuSimResult r = simulate_gpu_layout(*graph_, cfg, kernel_, spec_, opt);
+        core::LayoutResult out;
+        out.layout = std::move(r.layout);
+        out.seconds = r.modeled_seconds;
+        out.updates = r.counters.lane_updates + r.counters.skipped_terms;
+        out.skipped = r.counters.skipped_terms;
+        out.eta_schedule = std::move(r.eta_schedule);
+        return out;
+    }
+
+private:
+    KernelConfig kernel_;
+    GpuSpec spec_;
+    SimOptions opt_;
+    std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::LayoutEngine> make_gpusim_engine(const KernelConfig& kernel,
+                                                       const GpuSpec& spec,
+                                                       const SimOptions& opt) {
+    return std::make_unique<GpuSimEngine>(kernel, spec, opt);
 }
 
 }  // namespace pgl::gpusim

@@ -21,8 +21,11 @@
 // whose *relative* outcomes — the Fig. 16 ladder, Tables IX-XI, the Fig. 17
 // DSE, and the A6000/A100 gap — are produced by the simulated counters.
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "core/config.hpp"
+#include "core/engine.hpp"
 #include "core/layout.hpp"
 #include "gpusim/gpu_spec.hpp"
 #include "graph/lean_graph.hpp"
@@ -51,6 +54,7 @@ struct KernelConfig {
 
 struct GpuCounters {
     std::uint64_t lane_updates = 0;      ///< functional updates applied
+    std::uint64_t skipped_terms = 0;     ///< degenerate sampled terms
     std::uint64_t warp_steps = 0;        ///< warp-level update steps
     std::uint64_t kernel_launches = 0;
 
@@ -83,6 +87,7 @@ struct GpuSimResult {
     GpuCounters counters;
     double modeled_seconds = 0.0;  ///< time model output for the full run
     double sim_wall_seconds = 0.0; ///< host time spent simulating
+    std::vector<double> eta_schedule;  ///< learning rate per iteration
 };
 
 struct SimOptions {
@@ -93,6 +98,8 @@ struct SimOptions {
     /// working-set-to-cache ratio matches full-scale behaviour (same idea
     /// as memsim's llc_scale).
     double cache_scale = 1.0;
+    /// Optional per-iteration (per-kernel-launch) progress callback.
+    core::ProgressHook progress;
 };
 
 /// Runs the simulated kernel for the whole PG-SGD schedule and returns the
@@ -105,5 +112,11 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
 /// The time model, exposed for tests: combines the latency-weighted memory
 /// term with the (mostly hidden) instruction term and launch overhead.
 double model_time_seconds(const GpuCounters& c, const GpuSpec& spec);
+
+/// Creates a simulated-GPU layout engine ("gpusim-base"/"gpusim-optimized"
+/// in the registry; any kernel/spec combination may be constructed
+/// directly). LayoutResult.seconds reports the *modeled* device time.
+std::unique_ptr<core::LayoutEngine> make_gpusim_engine(
+    const KernelConfig& kernel, const GpuSpec& spec, const SimOptions& opt = {});
 
 }  // namespace pgl::gpusim

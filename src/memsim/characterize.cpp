@@ -1,6 +1,9 @@
 #include "memsim/characterize.hpp"
 
+#include <algorithm>
+
 #include "core/sampling.hpp"
+#include "core/term_batch.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace pgl::memsim {
@@ -73,21 +76,37 @@ CpuCharacterization characterize_cpu(const graph::LeanGraph& g,
         }
     };
 
+    // Replay the update loop's address stream one TermBatch slice at a
+    // time (the same batched pipeline every backend consumes). Slices never
+    // straddle the exploration->cooling boundary, so the term stream is
+    // identical to a per-term replay.
     std::uint64_t done = 0;
-    for (std::uint64_t s = 0; s < opt.sample_updates; ++s) {
+    constexpr std::size_t kSlice = 4096;
+    core::TermBatch batch;
+    batch.reserve(kSlice);
+    for (std::uint64_t s = 0; s < opt.sample_updates;) {
         const bool cooling = s >= cooling_from;
-        const auto t = sampler.sample(cooling, rng);
-        // PRNG state (hot; 32 bytes) and alias-table lookups happen on every
-        // draw regardless of term validity.
-        mem.access(kBaseRngState, 32);
-        mem.access(kBaseAliasProb + std::uint64_t(t.path) * 8, 8);
-        mem.access(kBaseAliasAlias + std::uint64_t(t.path) * 4, 4);
-        if (!t.valid) continue;
-        touch_step(t.path, t.step_i);
-        touch_step(t.path, t.step_j);
-        touch_coords(t.node_i, t.end_i);
-        touch_coords(t.node_j, t.end_j);
-        ++done;
+        const std::uint64_t boundary =
+            cooling ? opt.sample_updates
+                    : std::min<std::uint64_t>(opt.sample_updates, cooling_from);
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kSlice, boundary - s));
+        batch.clear();
+        sampler.fill_batch(cooling, rng, n, batch, /*with_nudge=*/false);
+        for (std::size_t k = 0; k < batch.size(); ++k) {
+            // PRNG state (hot; 32 bytes) and alias-table lookups happen on
+            // every draw regardless of term validity.
+            mem.access(kBaseRngState, 32);
+            mem.access(kBaseAliasProb + std::uint64_t(batch.path[k]) * 8, 8);
+            mem.access(kBaseAliasAlias + std::uint64_t(batch.path[k]) * 4, 4);
+            if (!batch.valid[k]) continue;
+            touch_step(batch.path[k], batch.step_i[k]);
+            touch_step(batch.path[k], batch.step_j[k]);
+            touch_coords(batch.node_i[k], batch.end_i_of(k));
+            touch_coords(batch.node_j[k], batch.end_j_of(k));
+            ++done;
+        }
+        s += n;
     }
 
     CpuCharacterization out;

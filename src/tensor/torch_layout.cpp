@@ -5,6 +5,7 @@
 
 #include "core/sampling.hpp"
 #include "core/schedule.hpp"
+#include "core/term_batch.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace pgl::tensor {
@@ -24,7 +25,8 @@ std::uint32_t coord_index(std::uint32_t node, End e) {
 TorchLayoutResult layout_torch(const graph::LeanGraph& g,
                                const core::LayoutConfig& cfg,
                                std::uint64_t batch_size,
-                               KernelProfiler::CostModel cost) {
+                               KernelProfiler::CostModel cost,
+                               const core::ProgressHook& progress) {
     TorchLayoutResult out;
     out.profiler = KernelProfiler(cost);
     KernelProfiler& prof = out.profiler;
@@ -54,28 +56,38 @@ TorchLayoutResult layout_torch(const graph::LeanGraph& g,
     const std::uint64_t steps_per_iter = cfg.steps_per_iteration(g.total_path_steps());
     const std::uint64_t batch = std::max<std::uint64_t>(1, batch_size);
 
+    core::TermBatch terms;
+    terms.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(batch, 1 << 20)));
     std::vector<std::uint32_t> idx_i, idx_j;
     std::vector<float> dref_host;
+    std::uint64_t total_skipped = 0;
 
     for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
         const double eta = etas.empty() ? 0.0 : etas[iter];
         const bool cooling_iter = cfg.cooling(iter);
         std::uint64_t remaining = steps_per_iter;
+        std::uint64_t iter_skipped = 0;
 
         while (remaining > 0) {
             const std::uint64_t b = std::min(batch, remaining);
             remaining -= b;
 
-            // Host-side batch assembly (the "dataloader"): sample b terms.
+            // Host-side batch assembly (the "dataloader"): one shared
+            // TermBatch per device batch. The tensor path never uses the
+            // coincident-point nudge (mag is clamped instead), so the
+            // sampler's nudge draw is disabled.
+            terms.clear();
+            iter_skipped += sampler.fill_batch(
+                cooling_iter, rng, static_cast<std::size_t>(b), terms,
+                /*with_nudge=*/false);
             idx_i.clear();
             idx_j.clear();
             dref_host.clear();
-            for (std::uint64_t k = 0; k < b; ++k) {
-                const auto t = sampler.sample(cooling_iter, rng);
-                if (!t.valid) continue;
-                idx_i.push_back(coord_index(t.node_i, t.end_i));
-                idx_j.push_back(coord_index(t.node_j, t.end_j));
-                dref_host.push_back(static_cast<float>(t.d_ref));
+            for (std::size_t k = 0; k < terms.size(); ++k) {
+                if (!terms.valid[k]) continue;
+                idx_i.push_back(coord_index(terms.node_i[k], terms.end_i_of(k)));
+                idx_j.push_back(coord_index(terms.node_j[k], terms.end_j_of(k)));
+                dref_host.push_back(static_cast<float>(terms.d_ref[k]));
             }
             if (idx_i.empty()) continue;
             Tensor dref(dref_host);
@@ -111,7 +123,20 @@ TorchLayoutResult layout_torch(const graph::LeanGraph& g,
 
             ++out.batches;
         }
+
+        total_skipped += iter_skipped;
+        if (progress) {
+            core::IterationStats s;
+            s.iteration = iter;
+            s.iter_max = cfg.iter_max;
+            s.eta = eta;
+            s.updates = steps_per_iter;
+            s.skipped = iter_skipped;
+            progress(s);
+        }
     }
+    out.skipped = total_skipped;
+    out.eta_schedule = etas;
 
     out.layout.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -128,6 +153,44 @@ TorchLayoutResult layout_torch(const graph::LeanGraph& g,
     out.api_time_fraction =
         out.modeled_seconds > 0 ? out.api_seconds / out.modeled_seconds : 0.0;
     return out;
+}
+
+namespace {
+
+class TorchLayoutEngine final : public core::LayoutEngine {
+public:
+    TorchLayoutEngine(std::uint64_t batch_size, KernelProfiler::CostModel cost)
+        : batch_size_(batch_size), cost_(cost) {}
+
+    std::string_view name() const noexcept override { return "torch"; }
+
+protected:
+    core::LayoutResult do_run(const core::LayoutConfig& cfg) override {
+        core::ProgressHook hook;
+        if (has_progress_hook()) {
+            hook = [this](const core::IterationStats& s) { emit_progress(s); };
+        }
+        TorchLayoutResult r = layout_torch(*graph_, cfg, batch_size_, cost_, hook);
+        core::LayoutResult out;
+        out.layout = std::move(r.layout);
+        out.seconds = r.modeled_seconds;
+        out.updates = static_cast<std::uint64_t>(cfg.iter_max) *
+                      cfg.steps_per_iteration(graph_->total_path_steps());
+        out.skipped = r.skipped;
+        out.eta_schedule = std::move(r.eta_schedule);
+        return out;
+    }
+
+private:
+    std::uint64_t batch_size_;
+    KernelProfiler::CostModel cost_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::LayoutEngine> make_torch_engine(
+    std::uint64_t batch_size, KernelProfiler::CostModel cost) {
+    return std::make_unique<TorchLayoutEngine>(batch_size, cost);
 }
 
 }  // namespace pgl::tensor

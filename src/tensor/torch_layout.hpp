@@ -6,8 +6,11 @@
 // batch see the coordinates from the batch's start) and small batches
 // launch-overhead-bound.
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "core/config.hpp"
+#include "core/engine.hpp"
 #include "core/layout.hpp"
 #include "graph/lean_graph.hpp"
 #include "tensor/tensor.hpp"
@@ -17,19 +20,34 @@ namespace pgl::tensor {
 struct TorchLayoutResult {
     core::Layout layout;
     std::uint64_t batches = 0;
+    std::uint64_t skipped = 0;     ///< degenerate sampled terms
     std::uint64_t kernel_launches = 0;
     double kernel_seconds = 0.0;   ///< modeled device time
     double api_seconds = 0.0;      ///< modeled CUDA-API (launch) time
     double modeled_seconds = 0.0;  ///< kernel + API
     double api_time_fraction = 0.0;
+    std::vector<double> eta_schedule;  ///< learning rate per iteration
     KernelProfiler profiler;       ///< per-kernel breakdown for Fig. 7
 };
 
 /// Runs the full schedule with the given batch size and returns the layout
-/// plus the kernel profile.
+/// plus the kernel profile. `progress` (optional) is invoked after every
+/// SGD iteration.
 TorchLayoutResult layout_torch(const graph::LeanGraph& g,
                                const core::LayoutConfig& cfg,
                                std::uint64_t batch_size,
-                               KernelProfiler::CostModel cost = KernelProfiler::CostModel());
+                               KernelProfiler::CostModel cost = KernelProfiler::CostModel(),
+                               const core::ProgressHook& progress = {});
+
+/// Default tensor batch size of the "torch" registry engine: large enough
+/// to keep the modeled profile kernel-bound rather than launch-bound
+/// (Table III's sweet spot region).
+constexpr std::uint64_t kDefaultTorchBatch = 1 << 16;
+
+/// Creates the PyTorch-style batched layout engine ("torch" in the
+/// registry). LayoutResult.seconds reports the *modeled* device + API time.
+std::unique_ptr<core::LayoutEngine> make_torch_engine(
+    std::uint64_t batch_size = kDefaultTorchBatch,
+    KernelProfiler::CostModel cost = KernelProfiler::CostModel());
 
 }  // namespace pgl::tensor

@@ -114,6 +114,31 @@ TEST(EndpointPosition, ReverseStepSwapsEnds) {
     EXPECT_EQ(core::endpoint_path_position(100, 5, true, End::kEnd), 100u);
 }
 
+TEST(EndpointPosition, ReverseStepCoversSameIntervalAsForward) {
+    // A reverse-complement traversal of a node spans the same nucleotide
+    // interval as the forward traversal; only the segment orientation
+    // flips. The two endpoint positions are therefore the same *set*.
+    for (std::uint32_t len : {1u, 7u, 1024u}) {
+        const auto fwd_s = core::endpoint_path_position(50, len, false, End::kStart);
+        const auto fwd_e = core::endpoint_path_position(50, len, false, End::kEnd);
+        const auto rev_s = core::endpoint_path_position(50, len, true, End::kStart);
+        const auto rev_e = core::endpoint_path_position(50, len, true, End::kEnd);
+        EXPECT_EQ(fwd_s, rev_e);
+        EXPECT_EQ(fwd_e, rev_s);
+        EXPECT_EQ(fwd_e - fwd_s, len);
+    }
+}
+
+TEST(EndpointPosition, ZeroLengthNodeCollapsesBothEnds) {
+    // Degenerate zero-length node: both endpoints sit at the step offset
+    // regardless of orientation, so such terms always yield d_ref == 0
+    // between the two ends of the same step.
+    for (bool rev : {false, true}) {
+        EXPECT_EQ(core::endpoint_path_position(42, 0, rev, End::kStart), 42u);
+        EXPECT_EQ(core::endpoint_path_position(42, 0, rev, End::kEnd), 42u);
+    }
+}
+
 // --- PairSampler ---
 
 TEST(PairSampler, ProducesValidTerms) {

@@ -1,0 +1,301 @@
+// Tests for the pluggable LayoutEngine interface, the EngineRegistry and
+// the batched term pipeline (TermBatch / PairSampler::fill_batch).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/cpu_engine.hpp"
+#include "core/engine.hpp"
+#include "core/term_batch.hpp"
+#include "graph/lean_graph.hpp"
+#include "rng/xoshiro256.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace pgl;
+
+graph::LeanGraph small_graph(std::uint64_t backbone = 200, std::uint32_t paths = 4,
+                             std::uint64_t seed = 5) {
+    workloads::PangenomeSpec spec;
+    spec.backbone_nodes = backbone;
+    spec.n_paths = paths;
+    spec.seed = seed;
+    return graph::LeanGraph::from_graph(workloads::generate_pangenome(spec));
+}
+
+core::LayoutConfig tiny_cfg() {
+    core::LayoutConfig cfg;
+    cfg.iter_max = 3;
+    cfg.steps_per_iter_factor = 0.5;
+    cfg.seed = 99;
+    return cfg;
+}
+
+// --- Registry ---
+
+TEST(EngineRegistry, ListsAllBuiltinBackends) {
+    const auto names = core::EngineRegistry::instance().names();
+    const std::set<std::string> have(names.begin(), names.end());
+    for (const char* expected :
+         {"cpu-soa", "cpu-aos", "cpu-batched", "gpusim-base",
+          "gpusim-optimized", "torch"}) {
+        EXPECT_TRUE(have.count(expected)) << "missing backend " << expected;
+    }
+}
+
+TEST(EngineRegistry, CreateReturnsEngineWithMatchingName) {
+    for (const auto& name : core::EngineRegistry::instance().names()) {
+        auto engine = core::EngineRegistry::instance().create(name);
+        ASSERT_NE(engine, nullptr) << name;
+        EXPECT_EQ(engine->name(), name);
+    }
+}
+
+TEST(EngineRegistry, UnknownNameIsNullAndMakeEngineThrows) {
+    EXPECT_EQ(core::EngineRegistry::instance().create("no-such-engine"), nullptr);
+    EXPECT_FALSE(core::EngineRegistry::instance().contains("no-such-engine"));
+    EXPECT_THROW(core::make_engine("no-such-engine"), std::invalid_argument);
+}
+
+TEST(EngineRegistry, CustomEngineCanBeRegistered) {
+    auto& reg = core::EngineRegistry::instance();
+    reg.add("test-alias", [] {
+        return core::make_cpu_engine(core::CoordStore::kSoA, false);
+    });
+    EXPECT_TRUE(reg.contains("test-alias"));
+    auto engine = reg.create("test-alias");
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->name(), "cpu-soa");
+}
+
+// --- LayoutEngine contract ---
+
+TEST(LayoutEngine, RunBeforeInitThrows) {
+    auto engine = core::make_engine("cpu-soa");
+    EXPECT_THROW(engine->run(), std::logic_error);
+}
+
+TEST(LayoutEngine, EveryBackendProducesFiniteLayout) {
+    const auto g = small_graph();
+    const auto cfg = tiny_cfg();
+    for (const auto& name : core::EngineRegistry::instance().names()) {
+        auto engine = core::EngineRegistry::instance().create(name);
+        engine->init(g, cfg);
+        const auto r = engine->run();
+        ASSERT_EQ(r.layout.size(), g.node_count()) << name;
+        EXPECT_GT(r.updates, 0u) << name;
+        EXPECT_EQ(r.eta_schedule.size(), cfg.iter_max) << name;
+        for (std::size_t i = 0; i < r.layout.size(); ++i) {
+            ASSERT_TRUE(std::isfinite(r.layout.start_x[i])) << name;
+            ASSERT_TRUE(std::isfinite(r.layout.start_y[i])) << name;
+            ASSERT_TRUE(std::isfinite(r.layout.end_x[i])) << name;
+            ASSERT_TRUE(std::isfinite(r.layout.end_y[i])) << name;
+        }
+    }
+}
+
+TEST(LayoutEngine, RunIterationsTruncatesTheConfiguredSchedule) {
+    const auto g = small_graph();
+    auto engine = core::make_engine("cpu-soa");
+    core::LayoutConfig cfg = tiny_cfg();
+    cfg.iter_max = 30;
+    engine->init(g, cfg);
+    std::vector<core::IterationStats> seen;
+    engine->set_progress_hook(
+        [&](const core::IterationStats& s) { seen.push_back(s); });
+    const auto r = engine->run(2);
+    // Only 2 iterations execute, but they walk the *30-iteration*
+    // annealing schedule (a partially-converged prefix, not a compressed
+    // 2-iteration schedule).
+    EXPECT_EQ(seen.size(), 2u);
+    ASSERT_EQ(r.eta_schedule.size(), 30u);
+    EXPECT_EQ(seen[0].eta, r.eta_schedule[0]);
+    EXPECT_EQ(seen[1].eta, r.eta_schedule[1]);
+}
+
+TEST(LayoutEngine, ProgressHookFiresPerIteration) {
+    const auto g = small_graph();
+    const auto cfg = tiny_cfg();
+    for (const char* name : {"cpu-soa", "cpu-batched", "gpusim-base", "torch"}) {
+        auto engine = core::make_engine(name);
+        engine->init(g, cfg);
+        std::vector<core::IterationStats> seen;
+        engine->set_progress_hook(
+            [&](const core::IterationStats& s) { seen.push_back(s); });
+        engine->run();
+        ASSERT_EQ(seen.size(), cfg.iter_max) << name;
+        for (std::uint32_t i = 0; i < cfg.iter_max; ++i) {
+            EXPECT_EQ(seen[i].iteration, i) << name;
+            EXPECT_EQ(seen[i].iter_max, cfg.iter_max) << name;
+            EXPECT_GT(seen[i].updates, 0u) << name;
+        }
+        // The annealing schedule decays monotonically.
+        for (std::size_t i = 1; i < seen.size(); ++i) {
+            EXPECT_LT(seen[i].eta, seen[i - 1].eta) << name;
+        }
+    }
+}
+
+// --- Batched CPU engine vs legacy scalar path (acceptance criterion) ---
+
+TEST(CpuBatchedEngine, BitIdenticalToScalarForSingleThread) {
+    const auto g = small_graph(300, 5);
+    core::LayoutConfig cfg;
+    cfg.iter_max = 6;
+    cfg.steps_per_iter_factor = 2.0;
+    cfg.threads = 1;
+    cfg.seed = 4242;
+
+    const auto scalar = core::layout_cpu(g, cfg);  // legacy wrapper
+
+    auto engine = core::make_engine("cpu-batched");
+    engine->init(g, cfg);
+    const auto batched = engine->run();
+
+    ASSERT_EQ(scalar.layout.size(), batched.layout.size());
+    for (std::size_t i = 0; i < scalar.layout.size(); ++i) {
+        ASSERT_EQ(scalar.layout.start_x[i], batched.layout.start_x[i]) << i;
+        ASSERT_EQ(scalar.layout.start_y[i], batched.layout.start_y[i]) << i;
+        ASSERT_EQ(scalar.layout.end_x[i], batched.layout.end_x[i]) << i;
+        ASSERT_EQ(scalar.layout.end_y[i], batched.layout.end_y[i]) << i;
+    }
+    EXPECT_EQ(scalar.updates, batched.updates);
+    EXPECT_EQ(scalar.skipped, batched.skipped);
+}
+
+TEST(CpuBatchedEngine, MultithreadedRunStaysFinite) {
+    const auto g = small_graph(300, 5);
+    core::LayoutConfig cfg;
+    cfg.iter_max = 4;
+    cfg.steps_per_iter_factor = 2.0;
+    cfg.threads = 4;
+    auto engine = core::make_engine("cpu-batched");
+    engine->init(g, cfg);
+    const auto r = engine->run();
+    for (std::size_t i = 0; i < r.layout.size(); ++i) {
+        ASSERT_TRUE(std::isfinite(r.layout.start_x[i]));
+        ASSERT_TRUE(std::isfinite(r.layout.end_y[i]));
+    }
+}
+
+// --- Update accounting (multithreaded over-count fix) ---
+
+TEST(CpuEngine, MultithreadedUpdateCountMatchesRequestedSteps) {
+    const auto g = small_graph(100, 2);
+    core::LayoutConfig cfg;
+    cfg.iter_max = 3;
+    cfg.steps_per_iter_factor = 1.0;
+    const std::uint64_t n_steps = cfg.steps_per_iteration(g.total_path_steps());
+    // A thread count that does not divide n_steps used to round the
+    // reported count up past the requested steps.
+    for (std::uint32_t threads : {2u, 3u, 7u}) {
+        cfg.threads = threads;
+        const auto r = core::layout_cpu(g, cfg);
+        EXPECT_EQ(r.updates, cfg.iter_max * n_steps) << threads << " threads";
+    }
+}
+
+// --- TermBatch / fill_batch ---
+
+TEST(TermBatch, FillBatchMatchesScalarSampleStream) {
+    const auto g = small_graph(250, 4);
+    core::LayoutConfig cfg;
+    const core::PairSampler sampler(g, cfg);
+
+    // Reference: the scalar CPU loop's PRNG consumption — sample, then one
+    // nudge draw per valid term.
+    rng::Xoshiro256Plus rng_scalar(31337);
+    std::vector<core::TermSample> ref;
+    std::vector<double> ref_nudge;
+    for (int k = 0; k < 3000; ++k) {
+        const auto t = sampler.sample(false, rng_scalar);
+        double nd = 0.0;
+        if (t.valid) {
+            nd = (rng_scalar.next_double() - 0.5) * 1e-3;
+            if (nd == 0.0) nd = 1e-4;
+        }
+        ref.push_back(t);
+        ref_nudge.push_back(nd);
+    }
+
+    rng::Xoshiro256Plus rng_batch(31337);
+    core::TermBatch batch;
+    const std::uint64_t skipped = sampler.fill_batch(false, rng_batch, 3000, batch);
+
+    ASSERT_EQ(batch.size(), ref.size());
+    std::uint64_t ref_skipped = 0;
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+        ASSERT_EQ(batch.valid[k] != 0, ref[k].valid) << k;
+        if (!ref[k].valid) {
+            ++ref_skipped;
+            continue;
+        }
+        ASSERT_EQ(batch.path[k], ref[k].path) << k;
+        ASSERT_EQ(batch.step_i[k], ref[k].step_i) << k;
+        ASSERT_EQ(batch.step_j[k], ref[k].step_j) << k;
+        ASSERT_EQ(batch.node_i[k], ref[k].node_i) << k;
+        ASSERT_EQ(batch.node_j[k], ref[k].node_j) << k;
+        ASSERT_EQ(batch.end_i_of(k), ref[k].end_i) << k;
+        ASSERT_EQ(batch.end_j_of(k), ref[k].end_j) << k;
+        ASSERT_EQ(batch.pos_i[k], ref[k].pos_i) << k;
+        ASSERT_EQ(batch.pos_j[k], ref[k].pos_j) << k;
+        ASSERT_EQ(batch.d_ref[k], ref[k].d_ref) << k;
+        ASSERT_EQ(batch.nudge[k], ref_nudge[k]) << k;
+    }
+    EXPECT_EQ(skipped, ref_skipped);
+    EXPECT_EQ(batch.invalid_count(), ref_skipped);
+}
+
+TEST(TermBatch, SlicedFillsReplayOneBigFill) {
+    // Filling 4 x 250 terms in slices consumes the PRNG exactly like one
+    // 1000-term fill — the property the batched engine's slicing relies on.
+    const auto g = small_graph(250, 4);
+    core::LayoutConfig cfg;
+    const core::PairSampler sampler(g, cfg);
+
+    rng::Xoshiro256Plus rng_one(7);
+    core::TermBatch one;
+    sampler.fill_batch(true, rng_one, 1000, one);
+
+    rng::Xoshiro256Plus rng_sliced(7);
+    core::TermBatch sliced;
+    for (int s = 0; s < 4; ++s) sampler.fill_batch(true, rng_sliced, 250, sliced);
+
+    ASSERT_EQ(one.size(), sliced.size());
+    for (std::size_t k = 0; k < one.size(); ++k) {
+        ASSERT_EQ(one.valid[k], sliced.valid[k]) << k;
+        ASSERT_EQ(one.node_i[k], sliced.node_i[k]) << k;
+        ASSERT_EQ(one.node_j[k], sliced.node_j[k]) << k;
+        ASSERT_EQ(one.d_ref[k], sliced.d_ref[k]) << k;
+        ASSERT_EQ(one.nudge[k], sliced.nudge[k]) << k;
+    }
+}
+
+TEST(TermBatch, WithoutNudgeDrawsNoExtraVariates) {
+    const auto g = small_graph(250, 4);
+    core::LayoutConfig cfg;
+    const core::PairSampler sampler(g, cfg);
+
+    rng::Xoshiro256Plus rng_scalar(11);
+    std::vector<core::TermSample> ref;
+    for (int k = 0; k < 500; ++k) ref.push_back(sampler.sample(false, rng_scalar));
+
+    rng::Xoshiro256Plus rng_batch(11);
+    core::TermBatch batch;
+    sampler.fill_batch(false, rng_batch, 500, batch, /*with_nudge=*/false);
+
+    ASSERT_EQ(batch.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+        ASSERT_EQ(batch.valid[k] != 0, ref[k].valid) << k;
+        if (!ref[k].valid) continue;
+        ASSERT_EQ(batch.node_i[k], ref[k].node_i) << k;
+        ASSERT_EQ(batch.d_ref[k], ref[k].d_ref) << k;
+        ASSERT_EQ(batch.nudge[k], 0.0) << k;
+    }
+}
+
+}  // namespace

@@ -1,22 +1,26 @@
 // pgl-layout — the command-line layout tool, mirroring `odgi layout` with
 // the paper's promised `--gpu` switch (Sec. VII-B: "a user can simply add
-// the --gpu argument").
+// the --gpu argument"). Every execution machine is driven through the
+// common LayoutEngine interface; `--backend` selects any registered engine
+// by name, while `--gpu` / `--cdl` remain as familiar aliases.
 //
-//   pgl-layout -i graph.gfa -o graph.lay [--gpu[=a6000|a100]]
+//   pgl-layout -i graph.gfa -o graph.lay [--backend NAME | --gpu[=a6000|a100]]
 //              [--iters N] [--factor F] [--threads N] [--seed N]
 //              [--svg out.svg] [--ppm out.ppm] [--stress] [--cdl]
+//              [--progress] [--list-backends]
 //
-// Reads a GFA v1 pangenome graph, computes the PG-SGD layout on the CPU
-// (default, Hogwild multithreaded) or on the simulated GPU (--gpu), writes
-// the binary .lay layout and optional renders, and reports sampled path
-// stress when asked.
+// Reads a GFA v1 pangenome graph, computes the PG-SGD layout on the chosen
+// backend, writes the binary .lay layout and optional renders, and reports
+// sampled path stress when asked.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/cpu_engine.hpp"
+#include "core/engine.hpp"
 #include "draw/ppm.hpp"
 #include "draw/svg.hpp"
 #include "gpusim/gpu_machine.hpp"
@@ -31,23 +35,26 @@ namespace {
 void usage(const char* argv0) {
     std::cerr
         << "usage: " << argv0 << " -i graph.gfa -o layout.lay [options]\n"
-        << "  --gpu[=a6000|a100]  run on the simulated GPU (default: CPU)\n"
-        << "  --cdl               CPU only: use the cache-friendly (AoS) store\n"
+        << "  --backend NAME      run a registered engine (see --list-backends)\n"
+        << "  --gpu[=a6000|a100]  alias for the optimized simulated GPU\n"
+        << "  --cdl               alias for cpu-aos (cache-friendly store)\n"
         << "  --iters N           SGD iterations (default 30)\n"
         << "  --factor F          updates per iteration = F x total steps (default 10)\n"
         << "  --threads N         CPU Hogwild workers (default 1)\n"
         << "  --seed N            PRNG seed\n"
         << "  --svg FILE          also render an SVG\n"
         << "  --ppm FILE          also render a PPM bitmap\n"
-        << "  --stress            report sampled path stress with CI95\n";
+        << "  --stress            report sampled path stress with CI95\n"
+        << "  --progress          print per-iteration progress to stderr\n"
+        << "  --list-backends     list registered engines and exit\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace pgl;
-    std::string in_path, out_path, svg_path, ppm_path, gpu_name;
-    bool use_gpu = false, use_cdl = false, report_stress = false;
+    std::string in_path, out_path, svg_path, ppm_path, backend, gpu_name;
+    bool report_stress = false, progress = false;
     core::LayoutConfig cfg;
 
     for (int i = 1; i < argc; ++i) {
@@ -63,14 +70,23 @@ int main(int argc, char** argv) {
             in_path = next();
         } else if (arg == "-o") {
             out_path = next();
+        } else if (arg == "--backend") {
+            backend = next();
+            gpu_name.clear();  // last flag wins over an earlier --gpu=NAME
         } else if (arg == "--gpu") {
-            use_gpu = true;
-            gpu_name = "a6000";
+            backend = "gpusim-optimized";
+            gpu_name.clear();
         } else if (arg.rfind("--gpu=", 0) == 0) {
-            use_gpu = true;
+            backend = "gpusim-optimized";
             gpu_name = arg.substr(6);
+            if (gpu_name != "a6000" && gpu_name != "a100") {
+                std::cerr << "unknown GPU \"" << gpu_name
+                          << "\" (expected a6000 or a100)\n";
+                return 2;
+            }
         } else if (arg == "--cdl") {
-            use_cdl = true;
+            backend = "cpu-aos";
+            gpu_name.clear();
         } else if (arg == "--iters") {
             cfg.iter_max = static_cast<std::uint32_t>(std::atoi(next()));
         } else if (arg == "--factor") {
@@ -85,6 +101,13 @@ int main(int argc, char** argv) {
             ppm_path = next();
         } else if (arg == "--stress") {
             report_stress = true;
+        } else if (arg == "--progress") {
+            progress = true;
+        } else if (arg == "--list-backends") {
+            for (const auto& n : core::EngineRegistry::instance().names()) {
+                std::cout << n << "\n";
+            }
+            return 0;
         } else if (arg == "-h" || arg == "--help") {
             usage(argv[0]);
             return 0;
@@ -98,6 +121,7 @@ int main(int argc, char** argv) {
         usage(argv[0]);
         return 2;
     }
+    if (backend.empty()) backend = "cpu-soa";
 
     try {
         const auto vg = graph::read_gfa_file(in_path);
@@ -110,39 +134,40 @@ int main(int argc, char** argv) {
         std::cerr << "loaded " << g.node_count() << " nodes, " << g.path_count()
                   << " paths, " << g.total_path_steps() << " steps\n";
 
-        core::Layout layout;
-        if (use_gpu) {
-            const gpusim::GpuSpec spec =
-                gpu_name == "a100" ? gpusim::a100() : gpusim::rtx_a6000();
-            gpusim::SimOptions sopt;
-            sopt.counter_sample_period = 64;
-            const auto r = gpusim::simulate_gpu_layout(
-                g, cfg, gpusim::KernelConfig::optimized(), spec, sopt);
-            layout = r.layout;
-            std::cerr << "simulated " << spec.name << ": "
-                      << r.counters.lane_updates << " updates, modeled "
-                      << r.modeled_seconds << " s (host sim "
-                      << r.sim_wall_seconds << " s)\n";
+        // `--gpu=a100` needs a non-default machine spec, so it constructs
+        // the engine directly; every registered name goes via the registry.
+        std::unique_ptr<core::LayoutEngine> engine;
+        if (gpu_name == "a100") {
+            engine = gpusim::make_gpusim_engine(
+                gpusim::KernelConfig::optimized(), gpusim::a100());
         } else {
-            const auto r = core::layout_cpu(
-                g, cfg, use_cdl ? core::CoordStore::kAoS : core::CoordStore::kSoA);
-            layout = r.layout;
-            std::cerr << "cpu layout: " << r.updates << " updates in "
-                      << r.seconds << " s (" << cfg.threads << " threads)\n";
+            engine = core::make_engine(backend);
         }
 
-        io::write_layout_file(layout, out_path);
+        engine->init(g, cfg);
+        if (progress) {
+            engine->set_progress_hook([](const core::IterationStats& s) {
+                std::cerr << "iter " << (s.iteration + 1) << "/" << s.iter_max
+                          << "  eta " << s.eta << "  updates " << s.updates
+                          << "  skipped " << s.skipped << "\n";
+            });
+        }
+        const auto r = engine->run();
+        std::cerr << engine->name() << ": " << r.updates << " updates in "
+                  << r.seconds << " s\n";
+
+        io::write_layout_file(r.layout, out_path);
         std::cerr << "wrote " << out_path << "\n";
         if (!svg_path.empty()) {
-            draw::write_svg_file(g, layout, svg_path);
+            draw::write_svg_file(g, r.layout, svg_path);
             std::cerr << "wrote " << svg_path << "\n";
         }
         if (!ppm_path.empty()) {
-            draw::write_ppm_file(layout, ppm_path);
+            draw::write_ppm_file(r.layout, ppm_path);
             std::cerr << "wrote " << ppm_path << "\n";
         }
         if (report_stress) {
-            const auto sps = metrics::sampled_path_stress(g, layout);
+            const auto sps = metrics::sampled_path_stress(g, r.layout);
             std::cout << "sampled path stress: " << sps.value << " ["
                       << sps.ci_low << ", " << sps.ci_high << "] over "
                       << sps.terms << " terms\n";
