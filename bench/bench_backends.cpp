@@ -6,7 +6,11 @@
 // optimizes the common objective.
 //
 //   ./bench_backends [--backend NAME] [--scale F] [--iters N] [--factor F]
-//                    [--threads N] [--seed N] [--quick]
+//                    [--threads N] [--seed N] [--quick] [--json FILE]
+//
+// With --json FILE a machine-readable record per backend is written
+// alongside the table — the input of CI's perf-regression gate (compared
+// against bench/baseline.json by bench/check_regression.py).
 #include <iostream>
 #include <string>
 #include <vector>
@@ -38,8 +42,10 @@ int main(int argc, char** argv) {
         {18, 12, 10, 12, 9, 18});
     table.print_header(std::cout);
 
+    bench::JsonReporter json(opt.json_path);
     for (const auto& name : backends) {
         const auto r = bench::run_backend(name, g, cfg);
+        json.add(bench::make_record(opt, "bench_backends", name, r));
         const auto sps = metrics::sampled_path_stress(g, r.layout, 20, opt.seed);
         table.print_row(
             std::cout,

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -42,9 +43,11 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
                 std::cerr << "\n";
                 std::exit(2);
             }
+        } else if (arg == "--json") {
+            o.json_path = next();
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "options: --scale F --iters N --factor F --threads N"
-                         " --seed N --quick --backend NAME\n";
+                         " --seed N --quick --backend NAME --json FILE\n";
             std::cout << "backends:";
             for (const auto& n : core::EngineRegistry::instance().names()) {
                 std::cout << " " << n;
@@ -83,6 +86,83 @@ core::LayoutResult run_backend(const std::string& backend,
     }
     engine->init(g, cfg);
     return engine->run();
+}
+
+BenchRecord make_record(const BenchOptions& opt, std::string bench,
+                        std::string backend, const core::LayoutResult& r) {
+    BenchRecord rec;
+    rec.bench = std::move(bench);
+    rec.backend = std::move(backend);
+    rec.scale = opt.scale;
+    rec.iters = opt.iters;
+    rec.threads = opt.threads;
+    rec.seconds = r.seconds;
+    rec.updates_per_sec =
+        r.seconds > 0.0 ? static_cast<double>(r.updates) / r.seconds : 0.0;
+    return rec;
+}
+
+namespace {
+
+/// Minimal JSON string escaping — record fields are plain identifiers, but
+/// a hand-written path or label must not corrupt the file.
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+void JsonReporter::add(BenchRecord record) {
+    if (!enabled()) return;
+    records_.push_back(std::move(record));
+}
+
+void JsonReporter::write() {
+    if (!enabled() || written_) return;
+    std::ofstream os(path_);
+    if (!os) {
+        std::cerr << "cannot write " << path_ << "\n";
+        std::exit(2);
+    }
+    os << std::setprecision(12);
+    os << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const BenchRecord& r = records_[i];
+        os << "  {\"bench\": \"" << json_escape(r.bench) << "\", \"backend\": \""
+           << json_escape(r.backend) << "\", \"scale\": " << r.scale
+           << ", \"iters\": " << r.iters << ", \"threads\": " << r.threads
+           << ", \"seconds\": " << r.seconds
+           << ", \"updates_per_sec\": " << r.updates_per_sec << "}"
+           << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+    os.flush();
+    os.close();
+    if (os.fail()) {
+        std::cerr << "failed writing " << path_ << "\n";
+        std::exit(2);
+    }
+    written_ = true;
+    std::cerr << "wrote " << records_.size() << " bench records to " << path_
+              << "\n";
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers, std::vector<int> widths)

@@ -25,10 +25,55 @@ struct BenchOptions {
     std::uint64_t seed = 42;
     bool quick = false;          ///< further reduce work (CI smoke mode)
     std::string backend = "cpu-soa";  ///< EngineRegistry name (--backend)
+    std::string json_path;       ///< --json FILE: machine-readable records
 
     static BenchOptions parse(int argc, char** argv);
 
     core::LayoutConfig layout_config() const;
+};
+
+/// One machine-readable measurement, the unit of the bench JSON schema and
+/// of the CI perf gate (bench/baseline.json):
+///   {"bench": ..., "backend": ..., "scale": ..., "iters": ...,
+///    "threads": ..., "seconds": ..., "updates_per_sec": ...}
+struct BenchRecord {
+    std::string bench;    ///< emitting benchmark, e.g. "bench_backends"
+    std::string backend;  ///< EngineRegistry name (or a series label)
+    double scale = 0.0;
+    std::uint32_t iters = 0;
+    std::uint32_t threads = 0;
+    double seconds = 0.0;
+    double updates_per_sec = 0.0;
+};
+
+/// Builds the record for one engine run under the bench's options.
+BenchRecord make_record(const BenchOptions& opt, std::string bench,
+                        std::string backend, const core::LayoutResult& r);
+
+/// Collects BenchRecords and writes them as a JSON array. Constructed from
+/// BenchOptions::json_path; with an empty path every call is a no-op, so
+/// benches can emit records unconditionally alongside their tables. The
+/// file is written by write() or, failing that, the destructor.
+class JsonReporter {
+public:
+    JsonReporter() = default;
+    explicit JsonReporter(std::string path) : path_(std::move(path)) {}
+    ~JsonReporter() { write(); }
+
+    JsonReporter(const JsonReporter&) = delete;
+    JsonReporter& operator=(const JsonReporter&) = delete;
+
+    bool enabled() const noexcept { return !path_.empty(); }
+    void add(BenchRecord record);
+
+    /// Writes the collected records; idempotent. Prints a diagnostic and
+    /// exits with status 2 if the file cannot be written.
+    void write();
+
+private:
+    std::string path_;
+    std::vector<BenchRecord> records_;
+    bool written_ = false;
 };
 
 /// Runs the layout through the registered engine named `backend`, printing

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
         workloads::chromosome_spec(1, opt.scale),
     };
 
+    bench::JsonReporter json(opt.json_path);
     for (const auto& spec : specs) {
         const auto g = bench::build_lean(spec);
         auto cfg = opt.layout_config();
@@ -44,6 +45,10 @@ int main(int argc, char** argv) {
         for (std::uint32_t t : {1u, 2u, 4u, 8u, 16u, 32u}) {
             cfg.threads = t;
             const auto r = core::layout_cpu(g, cfg);
+            auto rec = bench::make_record(opt, "bench_fig4_cpu_scaling",
+                                          spec.name + "/cpu-soa", r);
+            rec.threads = t;
+            json.add(std::move(rec));
             const double modeled =
                 rate * static_cast<double>(base.updates) / static_cast<double>(t);
             table.print_row(std::cout,

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over bench JSON records (stdlib only).
+
+Usage:
+    check_regression.py BASELINE.json CURRENT.json [--tolerance 0.30]
+
+Both files hold arrays of records emitted by a bench's --json flag:
+    {"bench": ..., "backend": ..., "scale": ..., "iters": ...,
+     "threads": ..., "seconds": ..., "updates_per_sec": ...}
+
+A record pair is matched on (bench, backend, threads). The gate fails
+(exit 1) when any matched backend's updates_per_sec drops more than
+--tolerance (default 30%) below the committed baseline. Backends present
+on only one side are reported but never fail the gate, so registering a
+new engine does not require touching the baseline in the same commit —
+the next baseline refresh picks it up.
+
+--normalize BACKEND divides every updates_per_sec by that backend's
+throughput on its own side before comparing, turning the gate into a
+relative one. Use it when baseline and current runs come from different
+machine classes (a slower host then cancels out); the plain absolute gate
+is right when both sides run on comparable hardware, which is why CI
+refreshes bench/baseline.json from its own runners' artifacts.
+
+Refresh the baseline with:
+    ./build/bench_backends --quick --json bench/baseline.json
+(or download BENCH_pr.json from a trusted main build's bench-smoke job so
+the committed numbers reflect the CI runner class).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path, normalize=None):
+    with open(path) as fh:
+        records = json.load(fh)
+    if not isinstance(records, list):
+        sys.exit(f"{path}: expected a JSON array of bench records")
+    table = {}
+    for rec in records:
+        key = (rec["bench"], rec["backend"], rec["threads"])
+        if key in table:
+            sys.exit(f"{path}: duplicate record for {key}")
+        table[key] = rec
+    if normalize is not None:
+        anchors = [r["updates_per_sec"] for r in table.values()
+                   if r["backend"] == normalize]
+        if not anchors or anchors[0] <= 0:
+            sys.exit(f"{path}: no usable --normalize backend {normalize!r}")
+        for rec in table.values():
+            rec["updates_per_sec"] /= anchors[0]
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop in updates_per_sec "
+                             "(default 0.30)")
+    parser.add_argument("--normalize", metavar="BACKEND", default=None,
+                        help="compare throughputs relative to this backend's "
+                             "on each side (cancels machine-speed skew)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline, args.normalize)
+    current = load(args.current, args.normalize)
+
+    failures = []
+    print(f"{'bench/backend@threads':40s} {'baseline u/s':>14s} "
+          f"{'current u/s':>14s} {'ratio':>7s}")
+    for key in sorted(baseline):
+        name = f"{key[0]}/{key[1]}@{key[2]}"
+        if key not in current:
+            print(f"{name:40s} {'(missing in current run — skipped)':>37s}")
+            continue
+        base = baseline[key]["updates_per_sec"]
+        cur = current[key]["updates_per_sec"]
+        ratio = cur / base if base > 0 else float("inf")
+        flag = ""
+        if base > 0 and cur < base * (1.0 - args.tolerance):
+            failures.append((name, base, cur, ratio))
+            flag = "  << REGRESSION"
+        print(f"{name:40s} {base:14.3e} {cur:14.3e} {ratio:7.2f}{flag}")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"{key[0]}/{key[1]}@{key[2]:<6} "
+              f"{'(new — no baseline, skipped)':>37s}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} backend(s) regressed more than "
+              f"{args.tolerance:.0%} vs {args.baseline}:")
+        for name, base, cur, ratio in failures:
+            print(f"  {name}: {base:.3e} -> {cur:.3e} updates/sec "
+                  f"({ratio:.2f}x)")
+        return 1
+    print(f"\nOK: no backend regressed more than {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

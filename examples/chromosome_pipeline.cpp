@@ -38,14 +38,17 @@ int main(int argc, char** argv) {
 
     const auto g = graph::LeanGraph::from_graph(vg2);
 
-    // 2. CPU layout (Hogwild, 4 worker threads).
+    // 2. CPU layout on the pipelined engine (persistent thread pool, 4
+    // producer workers sampling ahead of the consumer).
     core::LayoutConfig cfg;
     cfg.iter_max = 10;
     cfg.steps_per_iter_factor = 2.0;
     cfg.threads = 4;
-    const auto cpu = core::layout_cpu(g, cfg);
-    std::cout << "CPU layout (4 threads): " << cpu.seconds << " s measured, "
-              << cpu.updates << " updates\n";
+    auto cpu_engine = core::make_engine("cpu-pipelined");
+    cpu_engine->init(g, cfg);
+    const auto cpu = cpu_engine->run();
+    std::cout << "CPU layout (cpu-pipelined, 4 threads): " << cpu.seconds
+              << " s measured, " << cpu.updates << " updates\n";
 
     // 3. Simulated-GPU layout.
     gpusim::SimOptions sopt;

@@ -19,7 +19,7 @@
 int main(int argc, char** argv) {
     using namespace pgl;
     const std::string out_dir = argc > 1 ? argv[1] : ".";
-    const std::string cpu_backend = argc > 2 ? argv[2] : "cpu-soa";
+    const std::string cpu_backend = argc > 2 ? argv[2] : "cpu-pipelined";
 
     const auto spec = workloads::hla_drb1_spec();
     const auto vg = workloads::generate_pangenome(spec);

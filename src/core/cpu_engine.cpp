@@ -3,22 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <thread>
 #include <vector>
 
 #include "core/schedule.hpp"
 #include "core/step_math.hpp"
 #include "core/term_batch.hpp"
+#include "core/thread_pool.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace pgl::core {
 
 namespace {
 
-/// Terms per TermBatch slice in the batched engine: big enough to amortize
-/// the buffer bookkeeping, small enough that a slice's updates stay hot in
-/// L1/L2 before the next slice is sampled.
-constexpr std::size_t kBatchSlice = 1024;
+constexpr std::size_t kBatchSlice = kBatchSliceTerms;
 
 template <typename Store>
 std::uint64_t run_scalar_iter(const PairSampler& sampler, double eta,
@@ -46,25 +43,6 @@ std::uint64_t run_scalar_iter(const PairSampler& sampler, double eta,
 }
 
 template <typename Store>
-void apply_batch(const TermBatch& b, double eta, Store& store) {
-    for (std::size_t k = 0; k < b.size(); ++k) {
-        if (!b.valid[k]) continue;
-        const End ei = b.end_i_of(k);
-        const End ej = b.end_j_of(k);
-        const float xi = store.load_x(b.node_i[k], ei);
-        const float yi = store.load_y(b.node_i[k], ei);
-        const float xj = store.load_x(b.node_j[k], ej);
-        const float yj = store.load_y(b.node_j[k], ej);
-        const PointDelta d =
-            sgd_term_update(xi, yi, xj, yj, b.d_ref[k], eta, b.nudge[k]);
-        store.store_x(b.node_i[k], ei, xi + d.dx_i);
-        store.store_y(b.node_i[k], ei, yi + d.dy_i);
-        store.store_x(b.node_j[k], ej, xj + d.dx_j);
-        store.store_y(b.node_j[k], ej, yj + d.dy_j);
-    }
-}
-
-template <typename Store>
 std::uint64_t run_batched_iter(const PairSampler& sampler, double eta,
                                bool cooling_iter, Store& store,
                                rng::Xoshiro256Plus& rng, std::uint64_t steps,
@@ -75,23 +53,16 @@ std::uint64_t run_batched_iter(const PairSampler& sampler, double eta,
             static_cast<std::size_t>(std::min<std::uint64_t>(kBatchSlice, left));
         batch.clear();
         skipped += sampler.fill_batch(cooling_iter, rng, n, batch);
-        apply_batch(batch, eta, store);
+        apply_term_batch(batch, eta, store);
         left -= n;
     }
     return skipped;
 }
 
-/// Exact per-thread share of the iteration's N_steps: the remainder goes to
-/// the first threads, so the shares sum to n_steps (no rounding up — the
-/// reported update count matches the steps actually executed).
-std::uint64_t thread_share(std::uint64_t n_steps, std::uint32_t n_threads,
-                           std::uint32_t tid) {
-    return n_steps / n_threads + (tid < n_steps % n_threads ? 1 : 0);
-}
-
 template <typename Store>
 LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
-                        Store& store, bool batched, const ProgressHook& hook) {
+                        Store& store, bool batched, const ProgressHook& hook,
+                        ThreadPool& pool) {
     LayoutResult result;
     result.eta_schedule = make_eta_schedule(
         cfg.schedule_length(), cfg.eps,
@@ -132,27 +103,24 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
             emit(iter, sk);
         }
     } else if (!batched) {
-        // Hogwild: every worker runs the whole schedule without barriers.
-        std::vector<std::thread> workers;
-        workers.reserve(n_threads);
-        for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
+        // Hogwild: every worker runs the whole schedule without barriers —
+        // one pool dispatch covers the entire run.
+        pool.run([&](std::uint32_t tid) {
             rng::Xoshiro256Plus rng = seeder;
             for (std::uint32_t j = 0; j < tid; ++j) rng.jump();
-            const std::uint64_t share = thread_share(n_steps, n_threads, tid);
-            workers.emplace_back([&, rng, share]() mutable {
-                std::uint64_t sk = 0;
-                for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
-                    sk += run_scalar_iter(sampler, result.eta_schedule[iter],
-                                          cfg.cooling(iter), store, rng, share);
-                }
-                skipped.fetch_add(sk, std::memory_order_relaxed);
-            });
-        }
-        for (auto& w : workers) w.join();
+            const std::uint64_t share = shard_share(n_steps, n_threads, tid);
+            std::uint64_t sk = 0;
+            for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+                sk += run_scalar_iter(sampler, result.eta_schedule[iter],
+                                      cfg.cooling(iter), store, rng, share);
+            }
+            skipped.fetch_add(sk, std::memory_order_relaxed);
+        });
     } else {
-        // Batched: iteration-synchronous — workers process their share of
-        // the iteration in TermBatch slices and join at the iteration
-        // barrier, the execution shape sharded/SIMD backends will reuse.
+        // Batched: iteration-synchronous — the persistent workers process
+        // their share of the iteration in TermBatch slices and meet at the
+        // pool's iteration barrier, the execution shape sharded/SIMD
+        // backends will reuse.
         std::vector<rng::Xoshiro256Plus> rngs;
         rngs.reserve(n_threads);
         for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
@@ -165,18 +133,13 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
             const double eta = result.eta_schedule[iter];
             const bool cooling_iter = cfg.cooling(iter);
             std::atomic<std::uint64_t> iter_skipped{0};
-            std::vector<std::thread> workers;
-            workers.reserve(n_threads);
-            for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
-                const std::uint64_t share = thread_share(n_steps, n_threads, tid);
-                workers.emplace_back([&, tid, share] {
-                    const std::uint64_t sk =
-                        run_batched_iter(sampler, eta, cooling_iter, store,
-                                         rngs[tid], share, batches[tid]);
-                    iter_skipped.fetch_add(sk, std::memory_order_relaxed);
-                });
-            }
-            for (auto& w : workers) w.join();
+            pool.run([&](std::uint32_t tid) {
+                const std::uint64_t share = shard_share(n_steps, n_threads, tid);
+                const std::uint64_t sk =
+                    run_batched_iter(sampler, eta, cooling_iter, store,
+                                     rngs[tid], share, batches[tid]);
+                iter_skipped.fetch_add(sk, std::memory_order_relaxed);
+            });
             skipped.fetch_add(iter_skipped.load(), std::memory_order_relaxed);
             emit(iter, iter_skipped.load());
         }
@@ -189,15 +152,18 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
     return result;
 }
 
+/// Dispatches on the coordinate store. `pool` must have cfg.threads workers
+/// when cfg.threads > 1 (single-threaded runs never touch it).
 LayoutResult run_layout_from(const graph::LeanGraph& g, const LayoutConfig& cfg,
                              const Layout& initial, CoordStore store,
-                             bool batched, const ProgressHook& hook) {
+                             bool batched, const ProgressHook& hook,
+                             ThreadPool& pool) {
     if (store == CoordStore::kAoS) {
         LayoutAoS s(initial, g);
-        return run_layout(g, cfg, s, batched, hook);
+        return run_layout(g, cfg, s, batched, hook, pool);
     }
     LayoutSoA s(initial);
-    return run_layout(g, cfg, s, batched, hook);
+    return run_layout(g, cfg, s, batched, hook, pool);
 }
 
 class CpuLayoutEngine final : public LayoutEngine {
@@ -211,6 +177,13 @@ public:
     }
 
 protected:
+    void do_init() override {
+        // The pool outlives every run(): workers are spawned once per
+        // init(), never inside the iteration loop.
+        const std::uint32_t n = cfg_.threads > 1 ? cfg_.threads : 0;
+        if (!pool_ || pool_->size() != n) pool_ = std::make_unique<ThreadPool>(n);
+    }
+
     LayoutResult do_run(const LayoutConfig& cfg) override {
         rng::Xoshiro256Plus init_rng(cfg.seed ^ 0xa02bdbf7bb3c0a7ULL);
         const Layout initial =
@@ -219,12 +192,14 @@ protected:
         if (has_progress_hook()) {
             hook = [this](const IterationStats& s) { emit_progress(s); };
         }
-        return run_layout_from(*graph_, cfg, initial, store_, batched_, hook);
+        return run_layout_from(*graph_, cfg, initial, store_, batched_, hook,
+                               *pool_);
     }
 
 private:
     CoordStore store_;
     bool batched_;
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace
@@ -235,7 +210,8 @@ std::unique_ptr<LayoutEngine> make_cpu_engine(CoordStore store, bool batched) {
 
 LayoutResult layout_cpu_from(const graph::LeanGraph& g, const LayoutConfig& cfg,
                              const Layout& initial, CoordStore store) {
-    return run_layout_from(g, cfg, initial, store, /*batched=*/false, {});
+    ThreadPool pool(cfg.threads > 1 ? cfg.threads : 0);
+    return run_layout_from(g, cfg, initial, store, /*batched=*/false, {}, pool);
 }
 
 LayoutResult layout_cpu(const graph::LeanGraph& g, const LayoutConfig& cfg,

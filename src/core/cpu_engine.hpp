@@ -34,6 +34,16 @@ enum class CoordStore : std::uint8_t {
 /// Creates a CPU layout engine ("cpu-soa" / "cpu-aos" / "cpu-batched").
 std::unique_ptr<LayoutEngine> make_cpu_engine(CoordStore store, bool batched);
 
+/// Creates the pipelined CPU engine ("cpu-pipelined"): cfg.threads producer
+/// workers on a persistent core::ThreadPool sample TermBatches into a
+/// double buffer (via the staged, prefetching fill) while the calling
+/// thread applies the previous buffer, so sampling — the workload's
+/// bottleneck (paper Sec. III) — overlaps the position updates.
+/// Deterministic: a fixed (seed, threads) pair always yields the same
+/// layout byte-for-byte, unlike the Hogwild engines.
+std::unique_ptr<LayoutEngine> make_pipelined_engine(
+    CoordStore store = CoordStore::kSoA);
+
 /// Runs the full PG-SGD loop on the CPU and returns the final layout.
 /// Deterministic for cfg.threads == 1 and a fixed seed. Thin wrapper over
 /// the scalar CPU engine, kept for compatibility.

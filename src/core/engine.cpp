@@ -33,6 +33,8 @@ EngineRegistry& EngineRegistry::instance() {
         r.add("cpu-aos", [] { return make_cpu_engine(CoordStore::kAoS, false); });
         r.add("cpu-batched",
               [] { return make_cpu_engine(CoordStore::kSoA, true); });
+        r.add("cpu-pipelined",
+              [] { return make_pipelined_engine(CoordStore::kSoA); });
         r.add("gpusim-base", [] {
             return gpusim::make_gpusim_engine(gpusim::KernelConfig::base(),
                                               gpusim::rtx_a6000());

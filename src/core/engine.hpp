@@ -12,6 +12,8 @@
 //   "cpu-soa"           scalar Hogwild CPU engine, original SoA store
 //   "cpu-aos"           scalar Hogwild CPU engine, cache-friendly AoS store
 //   "cpu-batched"       batched CPU engine (one TermBatch per worker slice)
+//   "cpu-pipelined"     pipelined CPU engine (pool producers sample ahead,
+//                       the consumer applies; deterministic per seed+threads)
 //   "gpusim-base"       simulated CUDA kernel, no optimizations
 //   "gpusim-optimized"  simulated CUDA kernel, CDL + CRS + WM
 //   "torch"             PyTorch-style batched tensor implementation
@@ -56,8 +58,9 @@ using ProgressHook = std::function<void(const IterationStats&)>;
 ///   auto result = eng->run();          // full schedule (cfg.iter_max)
 ///   auto probe  = eng->run(3);         // or a truncated run
 ///
-/// Iteration-synchronous engines (cpu-batched, gpusim-*, torch, and the
-/// scalar CPU engine with one thread) invoke the progress hook after every
+/// Iteration-synchronous engines (cpu-batched, cpu-pipelined, gpusim-*,
+/// torch, and the scalar CPU engine with one thread) invoke the progress
+/// hook after every
 /// iteration; the multithreaded Hogwild scalar path runs its workers
 /// through the whole schedule without barriers — exactly as odgi-layout
 /// does — so it reports no per-iteration progress.

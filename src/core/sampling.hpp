@@ -141,6 +141,21 @@ public:
     std::uint64_t fill_batch(bool cooling_iter, Rng& rng, std::size_t n,
                              TermBatch& out, bool with_nudge = true) const;
 
+    /// Staged, prefetching fill used by the pipelined engine's producers.
+    /// Per block of 64 terms: stage 1 performs every PRNG draw (whose
+    /// sequence never depends on the cold step lookups) and prefetches the
+    /// packed 16-byte step records; stage 2 reads the now-resident records
+    /// and finalizes d_ref/validity, drawing the per-valid-term nudge.
+    /// Draws the identical term distribution as sample() — same alias/Zipf/
+    /// coin logic per term — but consumes the PRNG in blocked order, so the
+    /// stream differs from fill_batch's while remaining fully deterministic
+    /// for a fixed (seed, stream). Writes only the columns the update
+    /// kernel reads (node/end/d_ref/nudge/valid); the replay columns stay
+    /// empty. Defined in core/term_batch.hpp.
+    template <typename Rng>
+    std::uint64_t fill_batch_staged(bool cooling_iter, Rng& rng, std::size_t n,
+                                    TermBatch& out) const;
+
 private:
     const graph::LeanGraph* g_;
     LayoutConfig cfg_;

@@ -19,6 +19,12 @@
 
 namespace pgl::core {
 
+/// Terms per TermBatch slice in the batched/pipelined CPU engines: big
+/// enough to amortize the buffer bookkeeping (and, in the pipelined engine,
+/// the pool dispatch), small enough that a slice's updates stay hot in
+/// L1/L2 before the next slice is sampled.
+constexpr std::size_t kBatchSliceTerms = 1024;
+
 struct TermBatch {
     // Sampled path/step identities (needed by the memory-modelling
     // backends, which replay the address stream of the step lookups).
@@ -88,6 +94,26 @@ struct TermBatch {
         took_cooling.push_back(t.took_cooling ? 1 : 0);
     }
 
+    /// Pre-sizes exactly the columns the update kernel reads and empties
+    /// the replay columns — the shape fill_batch_lean writes by index.
+    /// Reuses capacity, so a double-buffered pipeline allocates only on its
+    /// first slice.
+    void resize_apply_only(std::size_t n) {
+        node_i.resize(n);
+        node_j.resize(n);
+        end_i.resize(n);
+        end_j.resize(n);
+        d_ref.resize(n);
+        nudge.resize(n);
+        valid.resize(n);
+        path.clear();
+        step_i.clear();
+        step_j.clear();
+        pos_i.clear();
+        pos_j.clear();
+        took_cooling.clear();
+    }
+
     End end_i_of(std::size_t k) const noexcept { return static_cast<End>(end_i[k]); }
     End end_j_of(std::size_t k) const noexcept { return static_cast<End>(end_j[k]); }
 
@@ -97,6 +123,28 @@ struct TermBatch {
         return n;
     }
 };
+
+/// Applies every valid term of a batch to the coordinate store with the
+/// shared step_math kernel — the consumer half of the batched pipeline,
+/// used by the batched CPU workers and the pipelined engine's consumer.
+template <typename Store>
+void apply_term_batch(const TermBatch& b, double eta, Store& store) {
+    for (std::size_t k = 0; k < b.size(); ++k) {
+        if (!b.valid[k]) continue;
+        const End ei = b.end_i_of(k);
+        const End ej = b.end_j_of(k);
+        const float xi = store.load_x(b.node_i[k], ei);
+        const float yi = store.load_y(b.node_i[k], ei);
+        const float xj = store.load_x(b.node_j[k], ej);
+        const float yj = store.load_y(b.node_j[k], ej);
+        const PointDelta d =
+            sgd_term_update(xi, yi, xj, yj, b.d_ref[k], eta, b.nudge[k]);
+        store.store_x(b.node_i[k], ei, xi + d.dx_i);
+        store.store_y(b.node_i[k], ei, yi + d.dy_i);
+        store.store_x(b.node_j[k], ej, xj + d.dx_j);
+        store.store_y(b.node_j[k], ej, yj + d.dy_j);
+    }
+}
 
 template <typename Rng>
 std::uint64_t PairSampler::fill_batch(bool cooling_iter, Rng& rng, std::size_t n,
@@ -111,6 +159,111 @@ std::uint64_t PairSampler::fill_batch(bool cooling_iter, Rng& rng, std::size_t n
             nd = draw_nudge(rng);
         }
         out.append(t, nd);
+    }
+    return skipped;
+}
+
+template <typename Rng>
+std::uint64_t PairSampler::fill_batch_staged(bool cooling_iter, Rng& rng,
+                                             std::size_t n,
+                                             TermBatch& out) const {
+    out.resize_apply_only(n);
+    const auto offsets = g_->path_offsets();
+    const auto records = g_->step_records();
+    const auto lengths = g_->node_lengths();
+
+    constexpr std::size_t kBlock = 64;
+    struct Staged {
+        std::uint64_t flat_i, flat_j;
+        std::uint8_t end_i, end_j;
+        bool alive;
+    };
+    Staged stage[kBlock];
+
+    std::uint64_t skipped = 0;
+    for (std::size_t base = 0; base < n; base += kBlock) {
+        const std::size_t m = std::min(kBlock, n - base);
+
+        // Stage 1: per-term PRNG draws (alias path, steps, cooling branch,
+        // endpoint coins — the exact per-term logic of sample_branch) plus
+        // a prefetch of both packed step records. The cold record loads of
+        // the whole block overlap instead of serializing term by term.
+        for (std::size_t b = 0; b < m; ++b) {
+            Staged& st = stage[b];
+            st.alive = false;
+            const std::uint32_t path = path_alias_(rng);
+            const std::uint32_t n_steps = offsets[path + 1] - offsets[path];
+            if (n_steps < 2) continue;
+            const auto step_i =
+                static_cast<std::uint32_t>(rng.next_bounded(n_steps));
+            std::uint32_t step_j;
+            if (cooling_iter || rng.flip_coin()) {
+                // Zipf-distributed hop in a random direction, reflected at
+                // the path ends so every step can reach a partner.
+                const std::uint64_t hop = zipf_[path](rng);
+                std::int64_t j = static_cast<std::int64_t>(step_i);
+                j += rng.flip_coin() ? static_cast<std::int64_t>(hop)
+                                     : -static_cast<std::int64_t>(hop);
+                if (j < 0) j = -j;
+                const std::int64_t last = static_cast<std::int64_t>(n_steps) - 1;
+                if (j > last) j = 2 * last - j;
+                if (j < 0) j = 0;  // extremely short path + long hop
+                step_j = static_cast<std::uint32_t>(j);
+            } else {
+                step_j = static_cast<std::uint32_t>(rng.next_bounded(n_steps));
+            }
+            if (step_j == step_i) continue;
+            st.end_i = rng.flip_coin() ? 0 : 1;
+            st.end_j = rng.flip_coin() ? 0 : 1;
+            st.flat_i = offsets[path] + step_i;
+            st.flat_j = offsets[path] + step_j;
+            st.alive = true;
+            __builtin_prefetch(&records[st.flat_i], 0, 1);
+            __builtin_prefetch(&records[st.flat_j], 0, 1);
+        }
+
+        // Stage 2a: read the records (resident by now) and prefetch the
+        // node-length entries they point at — the second-level dependent
+        // loads stage 1 could not know about.
+        for (std::size_t b = 0; b < m; ++b) {
+            if (!stage[b].alive) continue;
+            __builtin_prefetch(&lengths[records[stage[b].flat_i].node], 0, 1);
+            __builtin_prefetch(&lengths[records[stage[b].flat_j].node], 0, 1);
+        }
+
+        // Stage 2b: finalize — endpoint positions, d_ref, validity — and
+        // write the update columns, drawing one nudge per valid term.
+        for (std::size_t b = 0; b < m; ++b) {
+            const std::size_t k = base + b;
+            const Staged& st = stage[b];
+            if (!st.alive) {
+                out.valid[k] = 0;
+                ++skipped;
+                continue;
+            }
+            const graph::PathStepRecord& ri = records[st.flat_i];
+            const graph::PathStepRecord& rj = records[st.flat_j];
+            const std::uint64_t pos_i = endpoint_path_position(
+                ri.position, lengths[ri.node], ri.orient != 0,
+                static_cast<End>(st.end_i));
+            const std::uint64_t pos_j = endpoint_path_position(
+                rj.position, lengths[rj.node], rj.orient != 0,
+                static_cast<End>(st.end_j));
+            const std::uint64_t d =
+                pos_i > pos_j ? pos_i - pos_j : pos_j - pos_i;
+            if (d == 0) {
+                out.valid[k] = 0;
+                ++skipped;
+                continue;
+            }
+            out.node_i[k] = ri.node;
+            out.node_j[k] = rj.node;
+            out.end_i[k] = st.end_i;
+            out.end_j[k] = st.end_j;
+            out.d_ref[k] = static_cast<double>(d);
+            out.nudge[k] = draw_nudge(rng);
+            out.valid[k] = 1;
+        }
     }
     return skipped;
 }

@@ -1,9 +1,12 @@
 #include "memsim/characterize.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "core/sampling.hpp"
 #include "core/term_batch.hpp"
+#include "core/thread_pool.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace pgl::memsim {
@@ -80,10 +83,17 @@ CpuCharacterization characterize_cpu(const graph::LeanGraph& g,
     // time (the same batched pipeline every backend consumes). Slices never
     // straddle the exploration->cooling boundary, so the term stream is
     // identical to a per-term replay.
-    std::uint64_t done = 0;
+    //
+    // The replay is pipelined like the cpu-pipelined engine: one persistent
+    // pool worker fills slice N+1 (consuming the single PRNG stream in
+    // slice order, so the address stream is unchanged) while this thread
+    // walks slice N through the cache model. The cache model itself stays
+    // single-threaded — only it may touch `mem`.
     constexpr std::size_t kSlice = 4096;
-    core::TermBatch batch;
-    batch.reserve(kSlice);
+
+    // Pre-compute the slice plan so the producer can be dispatched a slice
+    // ahead without re-deriving the cooling boundary.
+    std::vector<std::pair<std::size_t, bool>> slices;  // {terms, cooling}
     for (std::uint64_t s = 0; s < opt.sample_updates;) {
         const bool cooling = s >= cooling_from;
         const std::uint64_t boundary =
@@ -91,8 +101,27 @@ CpuCharacterization characterize_cpu(const graph::LeanGraph& g,
                     : std::min<std::uint64_t>(opt.sample_updates, cooling_from);
         const std::size_t n = static_cast<std::size_t>(
             std::min<std::uint64_t>(kSlice, boundary - s));
-        batch.clear();
-        sampler.fill_batch(cooling, rng, n, batch, /*with_nudge=*/false);
+        slices.emplace_back(n, cooling);
+        s += n;
+    }
+
+    std::uint64_t done = 0;
+    core::ThreadPool pool(1);
+    core::TermBatch bufs[2];
+    for (auto& b : bufs) b.reserve(kSlice);
+    const auto fill_job = [&](int buf, std::size_t s) {
+        return [&, buf, s](std::uint32_t) {
+            bufs[buf].clear();
+            sampler.fill_batch(slices[s].second, rng, slices[s].first,
+                               bufs[buf], /*with_nudge=*/false);
+        };
+    };
+    if (!slices.empty()) pool.run(fill_job(0, 0));
+    int cur = 0;
+    for (std::size_t s = 0; s < slices.size(); ++s) {
+        const bool more = s + 1 < slices.size();
+        if (more) pool.launch(fill_job(1 - cur, s + 1));
+        const core::TermBatch& batch = bufs[cur];
         for (std::size_t k = 0; k < batch.size(); ++k) {
             // PRNG state (hot; 32 bytes) and alias-table lookups happen on
             // every draw regardless of term validity.
@@ -106,7 +135,8 @@ CpuCharacterization characterize_cpu(const graph::LeanGraph& g,
             touch_coords(batch.node_j[k], batch.end_j_of(k));
             ++done;
         }
-        s += n;
+        if (more) pool.wait();
+        cur = 1 - cur;
     }
 
     CpuCharacterization out;

@@ -11,6 +11,13 @@
 // Cache capacities are scaled by the same factor as the graph (llc_scale)
 // so the working-set-to-cache ratio — which is what drives the miss rates —
 // matches the full-scale experiment.
+//
+// The replay is double-buffered on a one-worker core::ThreadPool (the same
+// pipeline shape as the cpu-pipelined engine): the worker fills the next
+// TermBatch slice while this thread walks the current slice through the
+// cache model. The single PRNG stream is consumed in slice order, so the
+// replayed address stream — and every reported counter — is identical to
+// the sequential replay.
 #include <cstdint>
 
 #include "core/config.hpp"

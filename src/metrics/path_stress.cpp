@@ -1,11 +1,12 @@
 #include "metrics/path_stress.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
-#include <thread>
 #include <vector>
 
 #include "core/sampling.hpp"
+#include "core/thread_pool.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace pgl::metrics {
@@ -89,20 +90,17 @@ void parallel_over_paths(const LeanGraph& g, std::uint32_t threads, Fn&& fn) {
         for (std::uint32_t p = 0; p < n_paths; ++p) fn(p);
         return;
     }
+    // Work-stealing over paths on the shared pool abstraction (path sizes
+    // are wildly skewed, so static shares would straggle).
     std::atomic<std::uint32_t> next{0};
-    std::vector<std::thread> pool;
-    const std::uint32_t n = std::min(threads, n_paths);
-    pool.reserve(n);
-    for (std::uint32_t t = 0; t < n; ++t) {
-        pool.emplace_back([&] {
-            for (;;) {
-                const std::uint32_t p = next.fetch_add(1);
-                if (p >= n_paths) return;
-                fn(p);
-            }
-        });
-    }
-    for (auto& t : pool) t.join();
+    core::ThreadPool pool(std::min(threads, n_paths));
+    pool.run([&](std::uint32_t) {
+        for (;;) {
+            const std::uint32_t p = next.fetch_add(1);
+            if (p >= n_paths) return;
+            fn(p);
+        }
+    });
 }
 
 }  // namespace

@@ -7,10 +7,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include <atomic>
+
 #include "core/cpu_engine.hpp"
 #include "core/engine.hpp"
 #include "core/term_batch.hpp"
+#include "core/thread_pool.hpp"
 #include "graph/lean_graph.hpp"
+#include "metrics/path_stress.hpp"
 #include "rng/xoshiro256.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -41,7 +45,7 @@ TEST(EngineRegistry, ListsAllBuiltinBackends) {
     const auto names = core::EngineRegistry::instance().names();
     const std::set<std::string> have(names.begin(), names.end());
     for (const char* expected :
-         {"cpu-soa", "cpu-aos", "cpu-batched", "gpusim-base",
+         {"cpu-soa", "cpu-aos", "cpu-batched", "cpu-pipelined", "gpusim-base",
           "gpusim-optimized", "torch"}) {
         EXPECT_TRUE(have.count(expected)) << "missing backend " << expected;
     }
@@ -120,7 +124,8 @@ TEST(LayoutEngine, RunIterationsTruncatesTheConfiguredSchedule) {
 TEST(LayoutEngine, ProgressHookFiresPerIteration) {
     const auto g = small_graph();
     const auto cfg = tiny_cfg();
-    for (const char* name : {"cpu-soa", "cpu-batched", "gpusim-base", "torch"}) {
+    for (const char* name :
+         {"cpu-soa", "cpu-batched", "cpu-pipelined", "gpusim-base", "torch"}) {
         auto engine = core::make_engine(name);
         engine->init(g, cfg);
         std::vector<core::IterationStats> seen;
@@ -180,6 +185,123 @@ TEST(CpuBatchedEngine, MultithreadedRunStaysFinite) {
         ASSERT_TRUE(std::isfinite(r.layout.start_x[i]));
         ASSERT_TRUE(std::isfinite(r.layout.end_y[i]));
     }
+}
+
+// --- ThreadPool (the seam every multithreaded backend now runs on) ---
+
+TEST(ThreadPool, RunsEveryWorkerExactlyOncePerDispatch) {
+    core::ThreadPool pool(4);
+    ASSERT_EQ(pool.size(), 4u);
+    std::vector<std::atomic<int>> hits(4);
+    for (int round = 0; round < 50; ++round) {
+        pool.run([&](std::uint32_t tid) {
+            hits[tid].fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    for (int t = 0; t < 4; ++t) EXPECT_EQ(hits[t].load(), 50) << t;
+}
+
+TEST(ThreadPool, LaunchOverlapsCallerAndWaitEstablishesVisibility) {
+    core::ThreadPool pool(3);
+    std::vector<std::uint64_t> produced(3, 0);
+    std::uint64_t expected = 0;
+    for (int round = 1; round <= 20; ++round) {
+        pool.launch([&, round](std::uint32_t tid) {
+            produced[tid] += static_cast<std::uint64_t>(round) * (tid + 1);
+        });
+        // Caller-side work between launch and wait, as the pipelined
+        // consumer does.
+        expected += static_cast<std::uint64_t>(round);
+        pool.wait();
+    }
+    // Plain (non-atomic) writes must be visible after wait().
+    for (std::uint32_t t = 0; t < 3; ++t) {
+        EXPECT_EQ(produced[t], expected * (t + 1)) << t;
+    }
+}
+
+TEST(ThreadPool, SizeZeroRunsInline) {
+    core::ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 0u);
+    int calls = 0;
+    pool.run([&](std::uint32_t tid) {
+        EXPECT_EQ(tid, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+// --- Pipelined CPU engine (determinism + quality, acceptance criteria) ---
+
+TEST(CpuPipelinedEngine, FixedSeedAndThreadsIsByteIdenticalAcrossRuns) {
+    const auto g = small_graph(300, 5);
+    core::LayoutConfig cfg;
+    cfg.iter_max = 5;
+    cfg.steps_per_iter_factor = 2.0;
+    cfg.threads = 4;
+    cfg.seed = 20240117;
+
+    core::LayoutResult runs[2];
+    for (auto& r : runs) {
+        auto engine = core::make_engine("cpu-pipelined");
+        engine->init(g, cfg);
+        r = engine->run();
+    }
+    ASSERT_EQ(runs[0].layout.size(), runs[1].layout.size());
+    for (std::size_t i = 0; i < runs[0].layout.size(); ++i) {
+        ASSERT_EQ(runs[0].layout.start_x[i], runs[1].layout.start_x[i]) << i;
+        ASSERT_EQ(runs[0].layout.start_y[i], runs[1].layout.start_y[i]) << i;
+        ASSERT_EQ(runs[0].layout.end_x[i], runs[1].layout.end_x[i]) << i;
+        ASSERT_EQ(runs[0].layout.end_y[i], runs[1].layout.end_y[i]) << i;
+    }
+    EXPECT_EQ(runs[0].updates, runs[1].updates);
+    EXPECT_EQ(runs[0].skipped, runs[1].skipped);
+}
+
+TEST(CpuPipelinedEngine, ReRunningTheSameEngineInstanceIsDeterministicToo) {
+    // The persistent pool must not leak state between run() calls.
+    const auto g = small_graph(200, 4);
+    core::LayoutConfig cfg = tiny_cfg();
+    cfg.threads = 3;
+    auto engine = core::make_engine("cpu-pipelined");
+    engine->init(g, cfg);
+    const auto a = engine->run();
+    const auto b = engine->run();
+    ASSERT_EQ(a.layout.size(), b.layout.size());
+    for (std::size_t i = 0; i < a.layout.size(); ++i) {
+        ASSERT_EQ(a.layout.start_x[i], b.layout.start_x[i]) << i;
+        ASSERT_EQ(a.layout.end_y[i], b.layout.end_y[i]) << i;
+    }
+}
+
+TEST(CpuPipelinedEngine, MatchesBatchedQualityWithinStressTolerance) {
+    const auto g = small_graph(300, 5);
+    core::LayoutConfig cfg;
+    // A full 30-iteration schedule: partially-converged runs have
+    // order-of-magnitude stress variance across PRNG streams for every
+    // engine, so only the converged layouts compare meaningfully.
+    cfg.iter_max = 30;
+    cfg.steps_per_iter_factor = 2.0;
+    cfg.threads = 4;
+    cfg.seed = 777;
+
+    auto batched = core::make_engine("cpu-batched");
+    batched->init(g, cfg);
+    const auto rb = batched->run();
+
+    auto pipelined = core::make_engine("cpu-pipelined");
+    pipelined->init(g, cfg);
+    const auto rp = pipelined->run();
+
+    EXPECT_EQ(rb.updates, rp.updates);
+    const auto sb = metrics::sampled_path_stress(g, rb.layout, 50, 1);
+    const auto sp = metrics::sampled_path_stress(g, rp.layout, 50, 1);
+    // Same objective, same schedule, different update interleaving: the
+    // two engines must land on layouts of comparable quality.
+    ASSERT_GT(sb.value, 0.0);
+    ASSERT_GT(sp.value, 0.0);
+    EXPECT_LT(sp.value, sb.value * 2.0);
+    EXPECT_GT(sp.value, sb.value * 0.5);
 }
 
 // --- Update accounting (multithreaded over-count fix) ---

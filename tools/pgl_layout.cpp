@@ -57,6 +57,19 @@ int main(int argc, char** argv) {
     bool report_stress = false, progress = false;
     core::LayoutConfig cfg;
 
+    // CI's smoke loop consumes `--list-backends` output verbatim (`for
+    // backend in $(pgl_layout --list-backends)`), so the contract is strict:
+    // exit 0, one registered name per line on stdout, nothing else. Handle
+    // it before any other parsing so no other flag can corrupt the listing.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--list-backends") {
+            for (const auto& n : core::EngineRegistry::instance().names()) {
+                std::cout << n << "\n";
+            }
+            return 0;
+        }
+    }
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
@@ -103,11 +116,6 @@ int main(int argc, char** argv) {
             report_stress = true;
         } else if (arg == "--progress") {
             progress = true;
-        } else if (arg == "--list-backends") {
-            for (const auto& n : core::EngineRegistry::instance().names()) {
-                std::cout << n << "\n";
-            }
-            return 0;
         } else if (arg == "-h" || arg == "--help") {
             usage(argv[0]);
             return 0;
