@@ -117,10 +117,15 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
             skipped.fetch_add(sk, std::memory_order_relaxed);
         });
     } else {
-        // Batched: iteration-synchronous — the persistent workers process
-        // their share of the iteration in TermBatch slices and meet at the
-        // pool's iteration barrier, the execution shape sharded/SIMD
-        // backends will reuse.
+        // Batched: iteration-synchronous and deterministic. Per slice round
+        // the persistent workers sample their shard's TermBatch in parallel
+        // (the expensive part: PRNG draws, alias/Zipf lookups, cold step
+        // records), then the calling thread applies the batches in fixed
+        // shard order. Racing the applies — the old behaviour — made a
+        // fixed (seed, threads) run irreproducible; fixed-order application
+        // is the property the partition scheduler's byte-equivalence
+        // contract relies on, and the execution shape sharded/SIMD backends
+        // will reuse.
         std::vector<rng::Xoshiro256Plus> rngs;
         rngs.reserve(n_threads);
         for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
@@ -129,19 +134,41 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
         }
         std::vector<TermBatch> batches(n_threads);
         for (auto& b : batches) b.reserve(kBatchSlice);
+        std::vector<std::uint64_t> left(n_threads), slice(n_threads);
+        std::vector<std::uint64_t> worker_skipped(n_threads);
         for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
             const double eta = result.eta_schedule[iter];
             const bool cooling_iter = cfg.cooling(iter);
-            std::atomic<std::uint64_t> iter_skipped{0};
-            pool.run([&](std::uint32_t tid) {
-                const std::uint64_t share = shard_share(n_steps, n_threads, tid);
-                const std::uint64_t sk =
-                    run_batched_iter(sampler, eta, cooling_iter, store,
-                                     rngs[tid], share, batches[tid]);
-                iter_skipped.fetch_add(sk, std::memory_order_relaxed);
-            });
-            skipped.fetch_add(iter_skipped.load(), std::memory_order_relaxed);
-            emit(iter, iter_skipped.load());
+            std::uint64_t iter_skipped = 0;
+            std::uint64_t left_total = 0;
+            for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
+                left[tid] = shard_share(n_steps, n_threads, tid);
+                left_total += left[tid];
+            }
+            while (left_total > 0) {
+                for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
+                    slice[tid] = std::min<std::uint64_t>(kBatchSlice, left[tid]);
+                }
+                pool.run([&](std::uint32_t tid) {
+                    batches[tid].clear();
+                    worker_skipped[tid] =
+                        slice[tid] == 0
+                            ? 0
+                            : sampler.fill_batch(
+                                  cooling_iter, rngs[tid],
+                                  static_cast<std::size_t>(slice[tid]),
+                                  batches[tid]);
+                });
+                for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
+                    if (slice[tid] == 0) continue;
+                    apply_term_batch(batches[tid], eta, store);
+                    iter_skipped += worker_skipped[tid];
+                    left[tid] -= slice[tid];
+                    left_total -= slice[tid];
+                }
+            }
+            skipped.fetch_add(iter_skipped, std::memory_order_relaxed);
+            emit(iter, iter_skipped);
         }
     }
     const auto t1 = std::chrono::steady_clock::now();

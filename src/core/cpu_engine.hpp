@@ -8,10 +8,13 @@
 // Two execution styles share the storage-templated update code:
 //   * scalar — the legacy per-term loop (sample, update, repeat);
 //   * batched — each worker fills a TermBatch per slice via
-//     PairSampler::fill_batch and then applies it, the repo's first step
-//     toward SIMD/sharded execution. With one thread and the same seed the
-//     batched engine replays the scalar engine's exact PRNG stream, so the
-//     two produce bit-identical layouts.
+//     PairSampler::fill_batch; with threads > 1 the filled batches are
+//     applied by the calling thread in fixed shard order (sampling is
+//     parallel, application is ordered), so a fixed (seed, threads) pair
+//     is byte-reproducible — the contract the partition scheduler builds
+//     on. With one thread and the same seed the batched engine replays the
+//     scalar engine's exact PRNG stream, so the two produce bit-identical
+//     layouts.
 //
 // Both are parameterized on the coordinate store so the same code runs
 // with the original SoA organization and with the cache-friendly AoS

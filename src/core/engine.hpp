@@ -11,7 +11,9 @@
 // Built-in registry names:
 //   "cpu-soa"           scalar Hogwild CPU engine, original SoA store
 //   "cpu-aos"           scalar Hogwild CPU engine, cache-friendly AoS store
-//   "cpu-batched"       batched CPU engine (one TermBatch per worker slice)
+//   "cpu-batched"       batched CPU engine (one TermBatch per worker slice;
+//                       parallel sampling, shard-ordered application —
+//                       deterministic per seed+threads)
 //   "cpu-pipelined"     pipelined CPU engine (pool producers sample ahead,
 //                       the consumer applies; deterministic per seed+threads)
 //   "gpusim-base"       simulated CUDA kernel, no optimizations

@@ -4,6 +4,24 @@
 
 namespace pgl::graph {
 
+// Appends one path walk, recomputing cumulative nucleotide positions.
+// Shared by both builders so identical walks yield bit-identical records.
+void LeanGraph::append_path(const std::vector<Handle>& steps) {
+    std::uint64_t pos = 0;
+    for (const Handle& h : steps) {
+        const std::uint32_t len = node_len_[h.id()];
+        step_node_.push_back(h.id());
+        step_pos_.push_back(pos);
+        step_orient_.push_back(h.is_reverse() ? 1 : 0);
+        step_records_.push_back(PathStepRecord{h.id(), h.is_reverse() ? 1u : 0u, pos});
+        pos += len;
+    }
+    path_offset_.push_back(static_cast<std::uint32_t>(step_node_.size()));
+    path_nuc_len_.push_back(pos);
+    total_path_nuc_ += pos;
+    max_path_nuc_len_ = std::max(max_path_nuc_len_, pos);
+}
+
 LeanGraph LeanGraph::from_graph(const VariationGraph& g) {
     LeanGraph lg;
     lg.node_len_.resize(g.node_count());
@@ -21,20 +39,20 @@ LeanGraph LeanGraph::from_graph(const VariationGraph& g) {
 
     lg.path_offset_.push_back(0);
     for (const PathRecord& p : g.paths()) {
-        std::uint64_t pos = 0;
-        for (const Handle& h : p.steps) {
-            const std::uint32_t len = lg.node_len_[h.id()];
-            lg.step_node_.push_back(h.id());
-            lg.step_pos_.push_back(pos);
-            lg.step_orient_.push_back(h.is_reverse() ? 1 : 0);
-            lg.step_records_.push_back(
-                PathStepRecord{h.id(), h.is_reverse() ? 1u : 0u, pos});
-            pos += len;
-        }
-        lg.path_offset_.push_back(static_cast<std::uint32_t>(lg.step_node_.size()));
-        lg.path_nuc_len_.push_back(pos);
-        lg.total_path_nuc_ += pos;
-        lg.max_path_nuc_len_ = std::max(lg.max_path_nuc_len_, pos);
+        lg.append_path(p.steps);
+    }
+    return lg;
+}
+
+LeanGraph LeanGraph::from_parts(std::vector<std::uint32_t> node_lengths,
+                                const std::vector<std::vector<Handle>>& paths) {
+    LeanGraph lg;
+    lg.node_len_ = std::move(node_lengths);
+    lg.path_offset_.reserve(paths.size() + 1);
+    lg.path_nuc_len_.reserve(paths.size());
+    lg.path_offset_.push_back(0);
+    for (const auto& steps : paths) {
+        lg.append_path(steps);
     }
     return lg;
 }

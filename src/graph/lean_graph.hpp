@@ -34,6 +34,15 @@ class LeanGraph {
 public:
     static LeanGraph from_graph(const VariationGraph& g);
 
+    /// Builds a lean graph directly from node lengths and path walks,
+    /// bypassing the rich VariationGraph. This is how the partition
+    /// subsystem materializes per-component subgraphs: node ids are the
+    /// indices into `node_lengths`, and step positions are recomputed as
+    /// cumulative nucleotide offsets exactly as from_graph() does, so a
+    /// sliced path yields bit-identical step records to the original.
+    static LeanGraph from_parts(std::vector<std::uint32_t> node_lengths,
+                                const std::vector<std::vector<Handle>>& paths);
+
     std::uint32_t node_count() const noexcept {
         return static_cast<std::uint32_t>(node_len_.size());
     }
@@ -85,6 +94,8 @@ public:
     }
 
 private:
+    void append_path(const std::vector<Handle>& steps);
+
     std::vector<std::uint32_t> node_len_;
 
     // CSR-style flattened paths.

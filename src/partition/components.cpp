@@ -1,0 +1,176 @@
+#include "partition/components.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <utility>
+
+namespace pgl::partition {
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+        std::iota(parent_.begin(), parent_.end(), 0u);
+    }
+
+    std::uint32_t find(std::uint32_t x) noexcept {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];  // path halving
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void unite(std::uint32_t a, std::uint32_t b) noexcept {
+        a = find(a);
+        b = find(b);
+        if (a == b) return;
+        if (size_[a] < size_[b]) std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+    }
+
+private:
+    std::vector<std::uint32_t> parent_;
+    std::vector<std::uint32_t> size_;
+};
+
+/// Compresses union-find roots into dense component ids numbered by the
+/// smallest node id in each component (scan order).
+ComponentLabels finalize_labels(UnionFind& uf, std::uint32_t n_nodes) {
+    ComponentLabels labels;
+    labels.node_component.assign(n_nodes, kNoComponent);
+    std::vector<std::uint32_t> root_to_component(n_nodes, kNoComponent);
+    for (std::uint32_t v = 0; v < n_nodes; ++v) {
+        const std::uint32_t root = uf.find(v);
+        if (root_to_component[root] == kNoComponent) {
+            root_to_component[root] = labels.count++;
+        }
+        labels.node_component[v] = root_to_component[root];
+    }
+    return labels;
+}
+
+/// Builds the subgraphs + remap tables common to both decompose overloads.
+/// `node_length(v)` and the path walks come from the source graph via the
+/// two callables, so the rich and lean paths share one implementation.
+template <typename NodeLengthFn, typename PathStepsFn>
+Decomposition build_decomposition(ComponentLabels labels, std::uint32_t n_nodes,
+                                  std::uint64_t n_paths, NodeLengthFn&& node_length,
+                                  PathStepsFn&& path_steps) {
+    Decomposition d;
+    d.labels = std::move(labels);
+    d.components.resize(d.labels.count);
+    d.local_node.assign(n_nodes, 0);
+
+    // Node remap: local ids ascend with global ids inside each component.
+    for (std::uint32_t v = 0; v < n_nodes; ++v) {
+        auto& comp = d.components[d.labels.node_component[v]];
+        d.local_node[v] = static_cast<std::uint32_t>(comp.global_node.size());
+        comp.global_node.push_back(v);
+    }
+
+    // Per-component node lengths and sliced path walks.
+    std::vector<std::vector<std::uint32_t>> lengths(d.labels.count);
+    std::vector<std::vector<std::vector<graph::Handle>>> walks(d.labels.count);
+    for (std::uint32_t c = 0; c < d.labels.count; ++c) {
+        lengths[c].reserve(d.components[c].global_node.size());
+        for (const graph::NodeId v : d.components[c].global_node) {
+            lengths[c].push_back(node_length(v));
+        }
+    }
+    for (std::uint64_t p = 0; p < n_paths; ++p) {
+        // label_components already assigned the path; kNoComponent marks an
+        // empty path, which belongs to no component.
+        const std::uint32_t c = d.labels.path_component[p];
+        if (c == kNoComponent) continue;
+        decltype(auto) steps = path_steps(p);
+        std::vector<graph::Handle> local;
+        local.reserve(steps.size());
+        for (const graph::Handle& h : steps) {
+            assert(d.labels.node_component[h.id()] == c);
+            local.push_back(graph::Handle::make(d.local_node[h.id()], h.is_reverse()));
+        }
+        d.components[c].global_path.push_back(static_cast<std::uint32_t>(p));
+        walks[c].push_back(std::move(local));
+    }
+
+    for (std::uint32_t c = 0; c < d.labels.count; ++c) {
+        d.components[c].graph =
+            graph::LeanGraph::from_parts(std::move(lengths[c]), walks[c]);
+    }
+    return d;
+}
+
+}  // namespace
+
+ComponentLabels label_components(const graph::VariationGraph& g) {
+    const auto n = static_cast<std::uint32_t>(g.node_count());
+    UnionFind uf(n);
+    for (const graph::Edge& e : g.edges()) {
+        uf.unite(e.from.id(), e.to.id());
+    }
+    // add_path materializes traversed edges, but a single-step path adds
+    // none; step adjacency keeps such paths attached to their node anyway.
+    for (const graph::PathRecord& p : g.paths()) {
+        for (std::size_t i = 1; i < p.steps.size(); ++i) {
+            uf.unite(p.steps[i - 1].id(), p.steps[i].id());
+        }
+    }
+    ComponentLabels labels = finalize_labels(uf, n);
+    labels.path_component.assign(g.path_count(), kNoComponent);
+    for (std::uint64_t p = 0; p < g.path_count(); ++p) {
+        const auto& steps = g.path(p).steps;
+        if (!steps.empty()) {
+            labels.path_component[p] = labels.node_component[steps.front().id()];
+        }
+    }
+    return labels;
+}
+
+ComponentLabels label_components(const graph::LeanGraph& g) {
+    UnionFind uf(g.node_count());
+    for (std::uint32_t p = 0; p < g.path_count(); ++p) {
+        const std::uint32_t n_steps = g.path_step_count(p);
+        for (std::uint32_t i = 1; i < n_steps; ++i) {
+            uf.unite(g.step_node(p, i - 1), g.step_node(p, i));
+        }
+    }
+    ComponentLabels labels = finalize_labels(uf, g.node_count());
+    labels.path_component.assign(g.path_count(), kNoComponent);
+    for (std::uint32_t p = 0; p < g.path_count(); ++p) {
+        if (g.path_step_count(p) > 0) {
+            labels.path_component[p] = labels.node_component[g.step_node(p, 0)];
+        }
+    }
+    return labels;
+}
+
+Decomposition decompose(const graph::VariationGraph& g) {
+    return build_decomposition(
+        label_components(g), static_cast<std::uint32_t>(g.node_count()),
+        g.path_count(), [&](graph::NodeId v) { return g.node_length(v); },
+        [&](std::uint64_t p) -> const std::vector<graph::Handle>& {
+            return g.path(p).steps;
+        });
+}
+
+Decomposition decompose(const graph::LeanGraph& g) {
+    return build_decomposition(
+        label_components(g), g.node_count(), g.path_count(),
+        [&](graph::NodeId v) { return g.node_length(v); },
+        [&](std::uint64_t p) {
+            const auto pi = static_cast<std::uint32_t>(p);
+            std::vector<graph::Handle> steps;
+            steps.reserve(g.path_step_count(pi));
+            for (std::uint32_t i = 0; i < g.path_step_count(pi); ++i) {
+                steps.push_back(graph::Handle::make(g.step_node(pi, i),
+                                                    g.step_is_reverse(pi, i)));
+            }
+            return steps;
+        });
+}
+
+}  // namespace pgl::partition

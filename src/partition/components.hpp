@@ -1,0 +1,73 @@
+#pragma once
+// Connected-component decomposition — layer 1 of the partition subsystem.
+//
+// Whole-genome pangenomes are inherently multi-component (one component per
+// chromosome plus unplaced contigs), yet PG-SGD lays out one connected
+// graph at a time: a stress term never crosses a path, and a path never
+// crosses a component, so disconnected components are independent layout
+// problems. This module labels components with a union-find over the node
+// set and slices the graph into per-component LeanGraph subgraphs with
+// stable remap tables, so every downstream consumer (engines, metrics,
+// IO, rendering) sees an ordinary single-component graph.
+//
+// Component numbering is deterministic: components are numbered by their
+// smallest global node id, and inside a component local node ids ascend
+// with the global ids. Path slicing is exact — a path's steps all live in
+// one component, so the sliced walk is the original walk verbatim (same
+// orientations, same recomputed cumulative positions).
+#include <cstdint>
+#include <vector>
+
+#include "graph/lean_graph.hpp"
+#include "graph/variation_graph.hpp"
+
+namespace pgl::partition {
+
+/// Sentinel for "not assigned to any component" (only empty paths).
+inline constexpr std::uint32_t kNoComponent = 0xFFFFFFFFu;
+
+/// Node/path -> component labeling.
+struct ComponentLabels {
+    std::uint32_t count = 0;
+    std::vector<std::uint32_t> node_component;  ///< node id -> component id
+    std::vector<std::uint32_t> path_component;  ///< path index -> component id
+                                                ///< (kNoComponent for an empty path)
+};
+
+/// Labels components using both edge and path-step adjacency (the full
+/// connectivity of the rich graph).
+ComponentLabels label_components(const graph::VariationGraph& g);
+
+/// Labels components using path-step adjacency only — all the connectivity
+/// a LeanGraph retains. Nodes touched by no path become singleton
+/// components.
+ComponentLabels label_components(const graph::LeanGraph& g);
+
+/// One connected component, sliced out as a standalone lean graph.
+struct ComponentSubgraph {
+    graph::LeanGraph graph;                    ///< local node ids are dense
+    std::vector<graph::NodeId> global_node;    ///< local -> global node id, ascending
+    std::vector<std::uint32_t> global_path;    ///< local -> global path index, ascending
+};
+
+/// The full decomposition: labels, per-component subgraphs, and the inverse
+/// node remap (global id -> local id within its component).
+struct Decomposition {
+    ComponentLabels labels;
+    std::vector<ComponentSubgraph> components;
+    std::vector<std::uint32_t> local_node;  ///< global node id -> local node id
+
+    std::uint32_t count() const noexcept {
+        return static_cast<std::uint32_t>(components.size());
+    }
+    std::uint64_t global_node_count() const noexcept { return local_node.size(); }
+};
+
+/// Decomposes the rich graph (edge + path connectivity); node lengths come
+/// from the sequences, as LeanGraph::from_graph would take them.
+Decomposition decompose(const graph::VariationGraph& g);
+
+/// Decomposes a lean graph (path connectivity only).
+Decomposition decompose(const graph::LeanGraph& g);
+
+}  // namespace pgl::partition

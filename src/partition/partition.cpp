@@ -1,0 +1,40 @@
+#include "partition/partition.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace pgl::partition {
+
+PartitionResult partition_layout(Decomposition d, const PartitionOptions& opt) {
+    const auto t0 = std::chrono::steady_clock::now();
+    PartitionResult out;
+    out.decomposition = std::move(d);
+
+    ComponentScheduler scheduler(opt.schedule);
+    if (opt.progress) scheduler.set_progress_hook(opt.progress);
+    out.component_results = scheduler.run(out.decomposition);
+
+    for (const core::LayoutResult& r : out.component_results) {
+        out.updates += r.updates;
+        out.skipped += r.skipped;
+        out.engine_seconds += r.seconds;
+    }
+    out.stitched = stitch(out.decomposition, out.component_results, opt.stitching);
+
+    out.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return out;
+}
+
+PartitionResult partition_layout(const graph::VariationGraph& g,
+                                 const PartitionOptions& opt) {
+    return partition_layout(decompose(g), opt);
+}
+
+PartitionResult partition_layout(const graph::LeanGraph& g,
+                                 const PartitionOptions& opt) {
+    return partition_layout(decompose(g), opt);
+}
+
+}  // namespace pgl::partition

@@ -1,0 +1,95 @@
+#include "partition/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace pgl::partition {
+
+std::uint64_t component_seed(std::uint64_t base_seed,
+                             std::uint32_t component) noexcept {
+    rng::SplitMix64 mix(base_seed ^ (0x9e3779b97f4a7c15ULL * (component + 1)));
+    return mix.next();
+}
+
+core::LayoutResult run_component(const ComponentSubgraph& component,
+                                 std::uint32_t component_id,
+                                 const SchedulerOptions& opt) {
+    core::LayoutConfig cfg = opt.config;
+    cfg.seed = component_seed(opt.config.seed, component_id);
+
+    if (component.graph.total_path_steps() == 0) {
+        // No sampleable terms (isolated nodes, edge-only clusters): the SGD
+        // objective is empty, so the linear initial layout is the answer.
+        rng::Xoshiro256Plus rng(cfg.seed);
+        core::LayoutResult r;
+        r.layout =
+            core::make_linear_initial_layout(component.graph, rng, cfg.init_jitter);
+        return r;
+    }
+
+    auto engine = core::make_engine(opt.backend);
+    engine->init(component.graph, cfg);
+    return engine->run();
+}
+
+std::vector<core::LayoutResult> ComponentScheduler::run(
+    const Decomposition& d) const {
+    if (!core::EngineRegistry::instance().contains(opt_.backend)) {
+        throw std::invalid_argument("unknown partition backend: " + opt_.backend);
+    }
+    const std::uint32_t n = d.count();
+    std::vector<core::LayoutResult> results(n);
+    if (n == 0) return results;
+
+    // Largest-first (LPT) order; ties broken by component id so the queue
+    // order — though not the results, which land in id-indexed slots — is
+    // deterministic too.
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return d.components[a].graph.node_count() >
+                                d.components[b].graph.node_count();
+                     });
+
+    std::atomic<std::uint32_t> next{0};
+    std::atomic<std::uint32_t> completed{0};
+    std::mutex hook_mutex;
+    const auto work = [&](std::uint32_t) {
+        for (;;) {
+            const std::uint32_t k = next.fetch_add(1, std::memory_order_relaxed);
+            if (k >= n) return;
+            const std::uint32_t c = order[k];
+            results[c] = run_component(d.components[c], c, opt_);
+            const std::uint32_t done =
+                completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (hook_) {
+                ComponentProgress p;
+                p.component = c;
+                p.completed = done;
+                p.total = n;
+                p.nodes = d.components[c].graph.node_count();
+                p.updates = results[c].updates;
+                p.seconds = results[c].seconds;
+                std::lock_guard<std::mutex> lock(hook_mutex);
+                hook_(p);
+            }
+        }
+    };
+
+    // A pool of size 0 runs the job inline on the caller — the right
+    // degenerate form for workers <= 1 (no pool thread, no sync cost).
+    core::ThreadPool pool(opt_.workers <= 1 ? 0
+                                            : std::min(opt_.workers, n));
+    pool.run(work);
+    return results;
+}
+
+}  // namespace pgl::partition

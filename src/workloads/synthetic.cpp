@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "rng/splitmix64.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace pgl::workloads {
@@ -265,6 +266,47 @@ std::string chromosome_name(int chromosome) {
     if (chromosome == 23) return "Chr.X";
     if (chromosome == 24) return "Chr.Y";
     return "Chr." + std::to_string(chromosome);
+}
+
+std::vector<PangenomeSpec> whole_genome_spec(std::uint32_t n_components,
+                                             double scale, std::uint64_t seed) {
+    rng::SplitMix64 mix(seed);
+    std::vector<PangenomeSpec> specs;
+    specs.reserve(n_components);
+    for (std::uint32_t k = 0; k < n_components; ++k) {
+        PangenomeSpec s = chromosome_spec(1 + static_cast<int>(k % 24), scale);
+        s.seed = mix.next();
+        // Components beyond the 24 chromosomes model unplaced contigs of the
+        // same chromosome class; the name stays unique either way.
+        s.name = "c" + std::to_string(k) + "." + s.name;
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+graph::VariationGraph generate_whole_genome(
+    const std::vector<PangenomeSpec>& specs) {
+    VariationGraph whole;
+    for (const PangenomeSpec& spec : specs) {
+        const VariationGraph part = generate_pangenome(spec);
+        const auto offset = static_cast<NodeId>(whole.node_count());
+        for (NodeId v = 0; v < part.node_count(); ++v) {
+            whole.add_node(std::string(part.sequence(v)));
+        }
+        const auto shift = [offset](Handle h) {
+            return Handle::make(h.id() + offset, h.is_reverse());
+        };
+        for (const graph::Edge& e : part.edges()) {
+            whole.add_edge(shift(e.from), shift(e.to));
+        }
+        for (const graph::PathRecord& p : part.paths()) {
+            std::vector<Handle> steps;
+            steps.reserve(p.steps.size());
+            for (const Handle& h : p.steps) steps.push_back(shift(h));
+            whole.add_path(p.name, std::move(steps));
+        }
+    }
+    return whole;
 }
 
 }  // namespace pgl::workloads

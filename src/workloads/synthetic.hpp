@@ -61,4 +61,21 @@ PangenomeSpec chromosome_spec(int chromosome, double scale);
 /// Display name ("Chr.1" ... "Chr.22", "Chr.X", "Chr.Y").
 std::string chromosome_name(int chromosome);
 
+// --- Multi-component whole-genome workload (partition subsystem) ---
+
+/// Deterministic per-component specs of a synthetic whole genome: component
+/// k is chromosome_spec(1 + k % 24, scale) with a seed mixed from `seed`
+/// (SplitMix64 stream) and a component-unique name, so the composed graph
+/// is reproducible for a fixed (n_components, scale, seed).
+std::vector<PangenomeSpec> whole_genome_spec(std::uint32_t n_components,
+                                             double scale,
+                                             std::uint64_t seed = 0xC0DE);
+
+/// Generates every spec and merges the results into one VariationGraph with
+/// disjoint node-id ranges (spec order = ascending id ranges), one
+/// connected component per spec. The inverse of partition::decompose: that
+/// call recovers exactly these components, in this order.
+graph::VariationGraph generate_whole_genome(
+    const std::vector<PangenomeSpec>& specs);
+
 }  // namespace pgl::workloads

@@ -7,6 +7,7 @@
 #include "draw/svg.hpp"
 #include "graph/lean_graph.hpp"
 #include "io/lay_io.hpp"
+#include "partition/partition.hpp"
 #include "rng/xoshiro256.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -76,6 +77,51 @@ TEST(LayIo, FileRoundTrip) {
 TEST(LayIo, MissingFileThrows) {
     EXPECT_THROW(io::read_layout_file("/nonexistent/nowhere.lay"),
                  std::runtime_error);
+}
+
+TEST(LayIo, RejectsTruncatedHeader) {
+    const auto l = io_layout(io_graph());
+    std::stringstream ss;
+    io::write_layout(l, ss);
+    // Cut inside the u64 node count, right after the 8-byte magic.
+    std::stringstream cut(ss.str().substr(0, 12));
+    EXPECT_THROW(io::read_layout(cut), std::runtime_error);
+}
+
+TEST(LayIo, RejectsPayloadShortByOneFloat) {
+    const auto l = io_layout(io_graph());
+    std::stringstream ss;
+    io::write_layout(l, ss);
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() - sizeof(float)));
+    EXPECT_THROW(io::read_layout(cut), std::runtime_error);
+}
+
+TEST(LayIo, ZeroNodeFileRoundTrips) {
+    const std::string path = ::testing::TempDir() + "/pgl_zero.lay";
+    io::write_layout_file(core::Layout{}, path);
+    EXPECT_EQ(io::read_layout_file(path).size(), 0u);
+}
+
+TEST(LayIo, PartitionStitchedRoundTripIsBitwise) {
+    // A stitched multi-component canvas must survive the .lay round trip
+    // bit-for-bit, exactly like a single-component layout.
+    const auto vg = workloads::generate_whole_genome(
+        workloads::whole_genome_spec(2, 0.0002, 11));
+    partition::PartitionOptions popt;
+    popt.schedule.config.iter_max = 2;
+    popt.schedule.config.steps_per_iter_factor = 0.2;
+    const auto part = partition::partition_layout(vg, popt);
+    const std::string path = ::testing::TempDir() + "/pgl_partition.lay";
+    io::write_layout_file(part.stitched.layout, path);
+    const auto back = io::read_layout_file(path);
+    ASSERT_EQ(back.size(), part.stitched.layout.size());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+        EXPECT_EQ(back.start_x[i], part.stitched.layout.start_x[i]);
+        EXPECT_EQ(back.start_y[i], part.stitched.layout.start_y[i]);
+        EXPECT_EQ(back.end_x[i], part.stitched.layout.end_x[i]);
+        EXPECT_EQ(back.end_y[i], part.stitched.layout.end_y[i]);
+    }
 }
 
 TEST(Svg, ContainsOneLinePerNode) {

@@ -6,15 +6,23 @@
 //
 //   pgl-layout -i graph.gfa -o graph.lay [--backend NAME | --gpu[=a6000|a100]]
 //              [--iters N] [--factor F] [--threads N] [--seed N]
+//              [--partition] [--component-workers N] [--per-component-out DIR]
 //              [--svg out.svg] [--ppm out.ppm] [--stress] [--cdl]
-//              [--progress] [--list-backends]
+//              [--progress] [--timing] [--list-backends]
 //
 // Reads a GFA v1 pangenome graph, computes the PG-SGD layout on the chosen
 // backend, writes the binary .lay layout and optional renders, and reports
-// sampled path stress when asked.
+// sampled path stress when asked. With --partition the graph is decomposed
+// into connected components (one per chromosome in a whole-genome GFA),
+// each component is laid out by its own engine instance — spread across
+// --component-workers threads, largest component first — and the results
+// are shelf-packed onto one canvas (see README "Partitioned whole-genome
+// layout" for the determinism contract).
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -29,6 +37,7 @@
 #include "graph/lean_graph.hpp"
 #include "io/lay_io.hpp"
 #include "metrics/path_stress.hpp"
+#include "partition/partition.hpp"
 
 namespace {
 
@@ -42,11 +51,22 @@ void usage(const char* argv0) {
         << "  --factor F          updates per iteration = F x total steps (default 10)\n"
         << "  --threads N         CPU Hogwild workers (default 1)\n"
         << "  --seed N            PRNG seed\n"
+        << "  --partition         decompose into connected components, lay out\n"
+        << "                      each with its own engine, stitch one canvas\n"
+        << "  --component-workers N  components laid out concurrently (default 1)\n"
+        << "  --per-component-out DIR  also dump component_<k>.lay per component\n"
         << "  --svg FILE          also render an SVG\n"
         << "  --ppm FILE          also render a PPM bitmap\n"
         << "  --stress            report sampled path stress with CI95\n"
-        << "  --progress          print per-iteration progress to stderr\n"
+        << "  --progress          print per-iteration (or, with --partition,\n"
+        << "                      per-component) progress to stderr\n"
+        << "  --timing            print a per-stage wall-clock summary to stderr\n"
         << "  --list-backends     list registered engines and exit\n";
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
 }
 
 }  // namespace
@@ -54,7 +74,10 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
     using namespace pgl;
     std::string in_path, out_path, svg_path, ppm_path, backend, gpu_name;
-    bool report_stress = false, progress = false;
+    std::string per_component_dir;
+    bool report_stress = false, progress = false, partition_run = false;
+    bool timing = false;
+    std::uint32_t component_workers = 1;
     core::LayoutConfig cfg;
 
     // CI's smoke loop consumes `--list-backends` output verbatim (`for
@@ -74,6 +97,7 @@ int main(int argc, char** argv) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
             if (i + 1 >= argc) {
+                std::cerr << "option " << arg << " requires an argument\n";
                 usage(argv[0]);
                 std::exit(2);
             }
@@ -108,6 +132,12 @@ int main(int argc, char** argv) {
             cfg.threads = static_cast<std::uint32_t>(std::atoi(next()));
         } else if (arg == "--seed") {
             cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--partition") {
+            partition_run = true;
+        } else if (arg == "--component-workers") {
+            component_workers = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--per-component-out") {
+            per_component_dir = next();
         } else if (arg == "--svg") {
             svg_path = next();
         } else if (arg == "--ppm") {
@@ -116,6 +146,8 @@ int main(int argc, char** argv) {
             report_stress = true;
         } else if (arg == "--progress") {
             progress = true;
+        } else if (arg == "--timing") {
+            timing = true;
         } else if (arg == "-h" || arg == "--help") {
             usage(argv[0]);
             return 0;
@@ -126,12 +158,31 @@ int main(int argc, char** argv) {
         }
     }
     if (in_path.empty() || out_path.empty()) {
+        std::cerr << "both -i and -o are required\n";
         usage(argv[0]);
         return 2;
     }
+    if (!per_component_dir.empty() && !partition_run) {
+        std::cerr << "--per-component-out requires --partition\n";
+        return 2;
+    }
+    if (component_workers != 1 && !partition_run) {
+        std::cerr << "--component-workers requires --partition\n";
+        return 2;
+    }
     if (backend.empty()) backend = "cpu-soa";
+    if (partition_run && gpu_name == "a100") {
+        // The a100 variant is constructed with a non-default machine spec,
+        // not through the registry the scheduler draws engines from.
+        std::cerr << "--gpu=a100 is not supported with --partition "
+                     "(use --gpu or --backend gpusim-optimized)\n";
+        return 2;
+    }
 
+    double t_load = 0.0, t_layout = 0.0, t_metrics = 0.0, t_render = 0.0;
+    const auto t_start = std::chrono::steady_clock::now();
     try {
+        auto t0 = std::chrono::steady_clock::now();
         const auto vg = graph::read_gfa_file(in_path);
         const std::string problem = vg.validate();
         if (!problem.empty()) {
@@ -141,44 +192,96 @@ int main(int argc, char** argv) {
         const auto g = graph::LeanGraph::from_graph(vg);
         std::cerr << "loaded " << g.node_count() << " nodes, " << g.path_count()
                   << " paths, " << g.total_path_steps() << " steps\n";
+        t_load = seconds_since(t0);
 
-        // `--gpu=a100` needs a non-default machine spec, so it constructs
-        // the engine directly; every registered name goes via the registry.
-        std::unique_ptr<core::LayoutEngine> engine;
-        if (gpu_name == "a100") {
-            engine = gpusim::make_gpusim_engine(
-                gpusim::KernelConfig::optimized(), gpusim::a100());
+        core::Layout final_layout;
+        partition::PartitionResult part;
+        t0 = std::chrono::steady_clock::now();
+        if (partition_run) {
+            partition::PartitionOptions popt;
+            popt.schedule.backend = backend;
+            popt.schedule.config = cfg;
+            popt.schedule.workers = component_workers;
+            if (progress) {
+                popt.progress = [](const partition::ComponentProgress& p) {
+                    std::cerr << "component " << p.completed << "/" << p.total
+                              << " (id " << p.component << "): " << p.nodes
+                              << " nodes, " << p.updates << " updates, "
+                              << p.seconds << " s\n";
+                };
+            }
+            part = partition::partition_layout(vg, popt);
+            std::cerr << backend << ": " << part.decomposition.count()
+                      << " components, " << part.updates << " updates in "
+                      << part.seconds << " s (engine time "
+                      << part.engine_seconds << " s), canvas "
+                      << part.stitched.width << " x " << part.stitched.height
+                      << "\n";
+            final_layout = part.stitched.layout;
         } else {
-            engine = core::make_engine(backend);
-        }
+            // `--gpu=a100` needs a non-default machine spec, so it constructs
+            // the engine directly; every registered name goes via the
+            // registry.
+            std::unique_ptr<core::LayoutEngine> engine;
+            if (gpu_name == "a100") {
+                engine = gpusim::make_gpusim_engine(
+                    gpusim::KernelConfig::optimized(), gpusim::a100());
+            } else {
+                engine = core::make_engine(backend);
+            }
 
-        engine->init(g, cfg);
-        if (progress) {
-            engine->set_progress_hook([](const core::IterationStats& s) {
-                std::cerr << "iter " << (s.iteration + 1) << "/" << s.iter_max
-                          << "  eta " << s.eta << "  updates " << s.updates
-                          << "  skipped " << s.skipped << "\n";
-            });
+            engine->init(g, cfg);
+            if (progress) {
+                engine->set_progress_hook([](const core::IterationStats& s) {
+                    std::cerr << "iter " << (s.iteration + 1) << "/" << s.iter_max
+                              << "  eta " << s.eta << "  updates " << s.updates
+                              << "  skipped " << s.skipped << "\n";
+                });
+            }
+            auto r = engine->run();
+            std::cerr << engine->name() << ": " << r.updates << " updates in "
+                      << r.seconds << " s\n";
+            final_layout = std::move(r.layout);
         }
-        const auto r = engine->run();
-        std::cerr << engine->name() << ": " << r.updates << " updates in "
-                  << r.seconds << " s\n";
+        t_layout = seconds_since(t0);
 
-        io::write_layout_file(r.layout, out_path);
+        t0 = std::chrono::steady_clock::now();
+        io::write_layout_file(final_layout, out_path);
         std::cerr << "wrote " << out_path << "\n";
+        if (!per_component_dir.empty()) {
+            std::filesystem::create_directories(per_component_dir);
+            for (std::uint32_t c = 0; c < part.decomposition.count(); ++c) {
+                const std::string path = per_component_dir + "/component_" +
+                                         std::to_string(c) + ".lay";
+                io::write_layout_file(part.component_results[c].layout, path);
+            }
+            std::cerr << "wrote " << part.decomposition.count()
+                      << " per-component layouts to " << per_component_dir
+                      << "\n";
+        }
         if (!svg_path.empty()) {
-            draw::write_svg_file(g, r.layout, svg_path);
+            draw::write_svg_file(g, final_layout, svg_path);
             std::cerr << "wrote " << svg_path << "\n";
         }
         if (!ppm_path.empty()) {
-            draw::write_ppm_file(r.layout, ppm_path);
+            draw::write_ppm_file(final_layout, ppm_path);
             std::cerr << "wrote " << ppm_path << "\n";
         }
+        t_render = seconds_since(t0);
+
         if (report_stress) {
-            const auto sps = metrics::sampled_path_stress(g, r.layout);
+            t0 = std::chrono::steady_clock::now();
+            const auto sps = metrics::sampled_path_stress(g, final_layout);
+            t_metrics = seconds_since(t0);
             std::cout << "sampled path stress: " << sps.value << " ["
                       << sps.ci_low << ", " << sps.ci_high << "] over "
                       << sps.terms << " terms\n";
+        }
+        if (timing) {
+            std::cerr << "timing: load/build " << t_load << " s | layout "
+                      << t_layout << " s | metrics " << t_metrics
+                      << " s | render " << t_render << " s | total "
+                      << seconds_since(t_start) << " s\n";
         }
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
