@@ -45,9 +45,12 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
             }
         } else if (arg == "--json") {
             o.json_path = next();
+        } else if (arg == "--input") {
+            o.input_path = next();
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "options: --scale F --iters N --factor F --threads N"
-                         " --seed N --quick --backend NAME --json FILE\n";
+                         " --seed N --quick --backend NAME --json FILE"
+                         " --input FILE\n";
             std::cout << "backends:";
             for (const auto& n : core::EngineRegistry::instance().names()) {
                 std::cout << " " << n;

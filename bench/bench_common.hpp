@@ -26,6 +26,8 @@ struct BenchOptions {
     bool quick = false;          ///< further reduce work (CI smoke mode)
     std::string backend = "cpu-soa";  ///< EngineRegistry name (--backend)
     std::string json_path;       ///< --json FILE: machine-readable records
+    std::string input_path;      ///< --input FILE: real GFA/.pgg instead of
+                                 ///< the synthetic workload (where supported)
 
     static BenchOptions parse(int argc, char** argv);
 

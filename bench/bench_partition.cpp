@@ -6,16 +6,22 @@
 //
 //   ./bench_partition [--backend NAME] [--scale F] [--iters N] [--factor F]
 //                     [--threads N] [--seed N] [--quick] [--json FILE]
+//                     [--input FILE.gfa|FILE.pgg]
 //
 // --threads sets the scheduler's component workers (engines run with one
 // thread each so the sweep measures component-level parallelism, not
 // nested pools). With --json FILE one record for the --threads run is
-// written — the partition entry of CI's perf-regression gate.
+// written — the partition entry of CI's perf-regression gate. With
+// --input a real GFA or .pgg graph cache is ingested through the
+// streaming reader instead of generating the synthetic genome, using the
+// component labels computed at parse time.
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "io/pgg_io.hpp"
 #include "partition/partition.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -24,15 +30,26 @@ int main(int argc, char** argv) {
     auto opt = bench::BenchOptions::parse(argc, argv);
     if (opt.backend == "cpu-soa") opt.backend = "cpu-batched";  // richer default
 
-    const std::uint32_t n_components = opt.quick ? 3 : 6;
-    std::cout << "== Partitioned whole-genome layout (" << n_components
-              << " components, backend " << opt.backend << ") ==\n";
-    const auto specs =
-        workloads::whole_genome_spec(n_components, opt.scale, opt.seed);
-    const auto vg = workloads::generate_whole_genome(specs);
-    auto d = partition::decompose(vg);
-    std::cout << "genome: " << vg.node_count() << " nodes, " << vg.path_count()
-              << " paths, " << d.count() << " components\n";
+    partition::Decomposition d;
+    if (!opt.input_path.empty()) {
+        std::cout << "== Partitioned layout of " << opt.input_path
+                  << " (backend " << opt.backend << ") ==\n";
+        auto ingest = io::load_graph_file(opt.input_path);
+        std::cout << "graph: " << ingest.graph.node_count() << " nodes, "
+                  << ingest.graph.path_count() << " paths\n";
+        d = partition::decompose(ingest.graph, partition::take_labels(ingest));
+    } else {
+        const std::uint32_t n_components = opt.quick ? 3 : 6;
+        std::cout << "== Partitioned whole-genome layout (" << n_components
+                  << " components, backend " << opt.backend << ") ==\n";
+        const auto specs =
+            workloads::whole_genome_spec(n_components, opt.scale, opt.seed);
+        const auto vg = workloads::generate_whole_genome(specs);
+        std::cout << "genome: " << vg.node_count() << " nodes, "
+                  << vg.path_count() << " paths\n";
+        d = partition::decompose(vg);
+    }
+    std::cout << d.count() << " components\n";
 
     partition::PartitionOptions popt;
     popt.schedule.backend = opt.backend;

@@ -12,7 +12,10 @@ std::vector<double> make_eta_schedule(std::uint32_t iter_max, double eps,
     etas.reserve(iter_max);
     const double d = std::max(1.0, max_dref);
     const double eta_max = d * d;
-    const double eta_min = std::max(eps, 1e-30);
+    // Clamp eta_min into (0, eta_max]: on tiny graphs (max_dref = 1) a
+    // default eps above eta_max would make lambda negative and the schedule
+    // *grow* over iterations instead of annealing.
+    const double eta_min = std::min(std::max(eps, 1e-30), eta_max);
     if (iter_max == 1) {
         etas.push_back(eta_max);
         return etas;

@@ -9,24 +9,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/gfa_util.hpp"
+
 namespace pgl::graph {
 
 namespace {
 
-std::vector<std::string_view> split_tabs(std::string_view line) {
-    std::vector<std::string_view> fields;
-    std::size_t start = 0;
-    while (start <= line.size()) {
-        const std::size_t tab = line.find('\t', start);
-        if (tab == std::string_view::npos) {
-            fields.push_back(line.substr(start));
-            break;
-        }
-        fields.push_back(line.substr(start, tab - start));
-        start = tab + 1;
-    }
-    return fields;
-}
+using gfa_detail::chomp;
+using gfa_detail::split_tabs;
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
     std::ostringstream os;
@@ -42,7 +32,8 @@ struct PendingLink {
 
 struct PendingPath {
     std::string name;
-    std::string steps;  // raw comma-separated field
+    std::string steps;  // raw comma-separated P field or ></-delimited W walk
+    bool is_walk;       // true for W records
     std::size_t line_no;
 };
 
@@ -50,7 +41,7 @@ struct PendingPath {
 
 VariationGraph read_gfa(std::istream& in) {
     VariationGraph g;
-    std::unordered_map<std::string, NodeId> name_to_id;
+    gfa_detail::NameTable<NodeId> name_to_id;
     std::vector<PendingLink> links;
     std::vector<PendingPath> paths;
 
@@ -58,6 +49,7 @@ VariationGraph read_gfa(std::istream& in) {
     std::size_t line_no = 0;
     while (std::getline(in, line)) {
         ++line_no;
+        chomp(line);  // CRLF / trailing-whitespace tolerance
         if (line.empty() || line[0] == '#') continue;
         const auto fields = split_tabs(line);
         switch (line[0]) {
@@ -65,9 +57,18 @@ VariationGraph read_gfa(std::istream& in) {
                 if (fields.size() < 3) fail(line_no, "S record needs 3 fields");
                 const std::string name(fields[1]);
                 if (name_to_id.contains(name)) fail(line_no, "duplicate segment " + name);
-                std::string seq(fields[2]);
-                if (seq == "*") seq.clear();
-                name_to_id.emplace(name, g.add_node(std::move(seq)));
+                if (fields[2] == "*") {
+                    // Sequence-free GFAs carry the length as an LN:i: tag;
+                    // record the length, never synthesize sequence bytes.
+                    std::uint32_t len = 0;
+                    for (std::size_t f = 3; f < fields.size(); ++f) {
+                        if (gfa_detail::parse_ln_tag(fields[f], len)) break;
+                    }
+                    name_to_id.emplace(name, g.add_node_sequence_free(len, name));
+                } else {
+                    name_to_id.emplace(name,
+                                       g.add_node(std::string(fields[2]), name));
+                }
                 break;
             }
             case 'L': {
@@ -80,18 +81,29 @@ VariationGraph read_gfa(std::istream& in) {
             }
             case 'P': {
                 if (fields.size() < 3) fail(line_no, "P record needs 3 fields");
-                paths.push_back(
-                    PendingPath{std::string(fields[1]), std::string(fields[2]), line_no});
+                paths.push_back(PendingPath{std::string(fields[1]),
+                                            std::string(fields[2]), false, line_no});
+                break;
+            }
+            case 'W': {
+                // GFA 1.1 walk: W sample hapIndex seqId seqStart seqEnd walk.
+                if (fields.size() < 7) fail(line_no, "W record needs 7 fields");
+                paths.push_back(PendingPath{
+                    gfa_detail::walk_path_name(fields[1], fields[2], fields[3],
+                                               fields[4], fields[5]),
+                    std::string(fields[6]), true, line_no});
                 break;
             }
             default:
-                break;  // H, C, W and friends are not needed for layout
+                break;  // H, C and friends are not needed for layout
         }
     }
 
-    const auto lookup = [&](const std::string& name, std::size_t at) -> NodeId {
+    const auto lookup = [&](std::string_view name, std::size_t at) -> NodeId {
         const auto it = name_to_id.find(name);
-        if (it == name_to_id.end()) fail(at, "unknown segment " + name);
+        if (it == name_to_id.end()) {
+            fail(at, "unknown segment " + std::string(name));
+        }
         return it->second;
     };
 
@@ -102,20 +114,17 @@ VariationGraph read_gfa(std::istream& in) {
 
     for (PendingPath& p : paths) {
         std::vector<Handle> steps;
-        std::string_view sv(p.steps);
-        std::size_t start = 0;
-        while (start < sv.size()) {
-            std::size_t comma = sv.find(',', start);
-            if (comma == std::string_view::npos) comma = sv.size();
-            const std::string_view tok = sv.substr(start, comma - start);
-            if (tok.size() < 2) fail(p.line_no, "bad path step");
-            const char orient = tok.back();
-            if (orient != '+' && orient != '-') fail(p.line_no, "bad step orientation");
-            const std::string name(tok.substr(0, tok.size() - 1));
-            steps.push_back(Handle::make(lookup(name, p.line_no), orient == '-'));
-            start = comma + 1;
+        const auto collect = [&](std::string_view name, bool rev) -> std::string {
+            steps.push_back(Handle::make(lookup(name, p.line_no), rev));
+            return {};
+        };
+        const std::string err =
+            p.is_walk ? gfa_detail::for_each_walk_step(p.steps, collect)
+                      : gfa_detail::for_each_p_step(p.steps, collect);
+        if (!err.empty()) fail(p.line_no, err);
+        if (steps.empty()) {
+            fail(p.line_no, (p.is_walk ? "empty walk " : "empty path ") + p.name);
         }
-        if (steps.empty()) fail(p.line_no, "empty path " + p.name);
         g.add_path(std::move(p.name), std::move(steps));
     }
     return g;
@@ -131,19 +140,25 @@ void write_gfa(const VariationGraph& g, std::ostream& out) {
     out << "H\tVN:Z:1.0\n";
     for (NodeId id = 0; id < g.node_count(); ++id) {
         const auto seq = g.sequence(id);
-        out << "S\t" << (id + 1) << '\t' << (seq.empty() ? "*" : std::string(seq))
-            << '\n';
+        out << "S\t" << g.node_name(id) << '\t';
+        if (seq.empty()) {
+            out << '*';
+            if (g.is_sequence_free(id)) out << "\tLN:i:" << g.node_length(id);
+        } else {
+            out << seq;
+        }
+        out << '\n';
     }
     for (const Edge& e : g.edges()) {
-        out << "L\t" << (e.from.id() + 1) << '\t' << (e.from.is_reverse() ? '-' : '+')
-            << '\t' << (e.to.id() + 1) << '\t' << (e.to.is_reverse() ? '-' : '+')
-            << "\t0M\n";
+        out << "L\t" << g.node_name(e.from.id()) << '\t'
+            << (e.from.is_reverse() ? '-' : '+') << '\t' << g.node_name(e.to.id())
+            << '\t' << (e.to.is_reverse() ? '-' : '+') << "\t0M\n";
     }
     for (const PathRecord& p : g.paths()) {
         out << "P\t" << p.name << '\t';
         for (std::size_t i = 0; i < p.steps.size(); ++i) {
             if (i) out << ',';
-            out << (p.steps[i].id() + 1) << (p.steps[i].is_reverse() ? '-' : '+');
+            out << g.node_name(p.steps[i].id()) << (p.steps[i].is_reverse() ? '-' : '+');
         }
         out << "\t*\n";
     }

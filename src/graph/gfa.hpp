@@ -1,7 +1,13 @@
 #pragma once
 // GFA v1 reader/writer for variation graphs — the interchange format of the
-// pangenome toolchain (odgi, vg, pggb). Supports S (segment), L (link) and
-// P (path) records, which is everything the layout pipeline consumes.
+// pangenome toolchain (odgi, vg, pggb). Supports S (segment), L (link),
+// P (path) and GFA 1.1 W (walk) records, which is everything the layout
+// pipeline consumes. Lines may end in CRLF (Windows-edited files) and
+// sequence-free segments ("S name *" with an LN:i: tag) keep their length.
+//
+// This reader materializes the full rich graph; for layout-only ingestion
+// at scale prefer the streaming reader in graph/gfa_stream.hpp, which
+// builds the LeanGraph directly at roughly half the peak memory.
 #include <iosfwd>
 #include <string>
 
@@ -9,15 +15,17 @@
 
 namespace pgl::graph {
 
-/// Parses GFA v1 from a stream. Throws std::runtime_error on malformed
-/// input. Unknown record types (H, C, W, ...) are skipped.
+/// Parses GFA v1/v1.1 from a stream. Throws std::runtime_error on
+/// malformed input. W walks become paths named sample#hap#seqid[:start-end];
+/// other record types (H, C, ...) are skipped.
 VariationGraph read_gfa(std::istream& in);
 
 /// Convenience overload reading from a file path.
 VariationGraph read_gfa_file(const std::string& path);
 
-/// Writes GFA v1; segments are named 1..N (GFA ids are 1-based by
-/// convention), links use overlap 0M, paths use '*' overlaps.
+/// Writes GFA v1 preserving original segment names (nodes created without a
+/// name get their 1-based decimal id, the historical behaviour); links use
+/// overlap 0M, paths use '*' overlaps.
 void write_gfa(const VariationGraph& g, std::ostream& out);
 
 void write_gfa_file(const VariationGraph& g, const std::string& path);

@@ -1,0 +1,64 @@
+#pragma once
+// Streaming GFA ingestion — the scale path for real-world pangenomes
+// (PGGB, minigraph-cactus whole genomes). Instead of materializing the rich
+// VariationGraph (sequences + edge set + per-path Handle vectors) and then
+// distilling a LeanGraph from it, this reader makes two single-purpose
+// passes over the input and feeds a LeanGraphBuilder directly:
+//
+//   pass 1 (segments):  S records -> name table + node lengths
+//                       (sequence bytes are measured, never stored);
+//   pass 2 (topology):  L records -> union-find adjacency only,
+//                       P / W records -> streamed step-by-step into the
+//                       builder (no per-path step vector is ever built).
+//
+// Peak memory is the LeanGraph itself plus the name table and two u32 words
+// per node for the union-find — roughly half the rich-graph route on
+// path-heavy graphs. The union-find doubles as the partition-ready
+// adjacency: LeanIngest carries dense component labels computed exactly
+// like partition::label_components on the rich graph (edges + path steps,
+// numbered by smallest node id), so `--partition` runs byte-identically
+// from either ingestion route.
+//
+// Dialect: GFA 1.0 (S/L/P) and GFA 1.1 (W walk) records, CRLF and
+// trailing-whitespace tolerant, "S name *" with LN:i: length tags.
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/lean_graph.hpp"
+
+namespace pgl::graph {
+
+/// Everything the layout + partition pipeline needs from an input graph,
+/// without the rich VariationGraph intermediate.
+struct LeanIngest {
+    LeanGraph graph;
+
+    /// Original segment name per node id (S-record order).
+    std::vector<std::string> segment_names;
+    /// Path name per path index: the P-record name, or the synthesized
+    /// sample#hap#seqid[:start-end] for a W walk.
+    std::vector<std::string> path_names;
+
+    /// Partition-ready adjacency: dense connected-component labels over
+    /// L-links and path/walk steps, numbered by smallest member node id —
+    /// identical to partition::label_components(VariationGraph) on the
+    /// same file.
+    std::uint32_t component_count = 0;
+    std::vector<std::uint32_t> node_component;  ///< node id -> component
+    std::vector<std::uint32_t> path_component;  ///< path index -> component
+
+    std::uint64_t edge_count = 0;  ///< L records parsed (diagnostics only)
+};
+
+/// Streams GFA 1.0/1.1 from a seekable stream (two passes; file and string
+/// streams both qualify). Throws std::runtime_error with a line number on
+/// malformed input: duplicate segments, unknown segment references, bad
+/// orientations, empty paths/walks.
+LeanIngest ingest_gfa(std::istream& in);
+
+/// Convenience overload reading from a file path.
+LeanIngest ingest_gfa_file(const std::string& path);
+
+}  // namespace pgl::graph

@@ -1,0 +1,140 @@
+#pragma once
+// Internal tokenizing helpers shared by the two GFA readers — the legacy
+// rich-graph reader (gfa.cpp) and the streaming LeanGraph reader
+// (gfa_stream.cpp) — so both accept exactly the same dialect: CRLF and
+// trailing-whitespace tolerant lines, GFA 1.0 `P` segment lists and
+// GFA 1.1 `W` walk strings. Step callbacks return per-step errors as
+// strings (empty = ok) so each reader can attach its own line numbers.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pgl::graph::gfa_detail {
+
+/// Heterogeneous-lookup segment-name table shared by both readers:
+/// find() takes the string_view tokens of the current line without
+/// allocating a lookup key per step.
+struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+        return a == b;
+    }
+};
+template <typename Id>
+using NameTable = std::unordered_map<std::string, Id, SvHash, SvEq>;
+
+/// Strips the trailing '\r' of a CRLF line ending plus any trailing spaces
+/// or tabs, so Windows-edited GFAs tokenize identically to Unix ones.
+inline void chomp(std::string& line) {
+    std::size_t n = line.size();
+    while (n > 0 && (line[n - 1] == '\r' || line[n - 1] == ' ' || line[n - 1] == '\t')) {
+        --n;
+    }
+    line.resize(n);
+}
+
+inline std::vector<std::string_view> split_tabs(std::string_view line) {
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    while (start <= line.size()) {
+        const std::size_t tab = line.find('\t', start);
+        if (tab == std::string_view::npos) {
+            fields.push_back(line.substr(start));
+            break;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+    return fields;
+}
+
+/// Walks a GFA 1.0 `P` segment list ("s1+,s2-,..."), invoking
+/// `fn(name, is_reverse)` per step. `fn` returns an error string (empty =
+/// ok); the first error aborts the scan and is returned. Returns a
+/// description for malformed tokens, empty on success.
+template <typename Fn>
+std::string for_each_p_step(std::string_view steps, Fn&& fn) {
+    std::size_t start = 0;
+    while (start < steps.size()) {
+        std::size_t comma = steps.find(',', start);
+        if (comma == std::string_view::npos) comma = steps.size();
+        const std::string_view tok = steps.substr(start, comma - start);
+        if (tok.size() < 2) return "bad path step";
+        const char orient = tok.back();
+        if (orient != '+' && orient != '-') return "bad step orientation";
+        if (std::string err = fn(tok.substr(0, tok.size() - 1), orient == '-');
+            !err.empty()) {
+            return err;
+        }
+        start = comma + 1;
+    }
+    return {};
+}
+
+/// Walks a GFA 1.1 `W` walk string (">s1<s2>s3..."), invoking
+/// `fn(name, is_reverse)` per step ('<' = reverse). Same error contract as
+/// for_each_p_step. A walk of "*" is treated as empty (no steps, success) —
+/// callers decide whether an empty walk is an error.
+template <typename Fn>
+std::string for_each_walk_step(std::string_view walk, Fn&& fn) {
+    if (walk == "*") return {};
+    std::size_t i = 0;
+    while (i < walk.size()) {
+        const char orient = walk[i];
+        if (orient != '>' && orient != '<') return "bad walk step (expected > or <)";
+        ++i;
+        std::size_t end = i;
+        while (end < walk.size() && walk[end] != '>' && walk[end] != '<') ++end;
+        if (end == i) return "empty segment name in walk";
+        if (std::string err = fn(walk.substr(i, end - i), orient == '<');
+            !err.empty()) {
+            return err;
+        }
+        i = end;
+    }
+    return {};
+}
+
+/// Synthesizes the path name of a W record ("sample#hap#seqid[:start-end]"),
+/// the PanSN-style convention odgi/vg use when importing walks as paths.
+inline std::string walk_path_name(std::string_view sample, std::string_view hap,
+                                  std::string_view seq_id, std::string_view start,
+                                  std::string_view end) {
+    std::string name;
+    name.reserve(sample.size() + hap.size() + seq_id.size() + start.size() +
+                 end.size() + 4);
+    name.append(sample).append("#").append(hap).append("#").append(seq_id);
+    if (start != "*" && end != "*") {
+        name.append(":").append(start).append("-").append(end);
+    }
+    return name;
+}
+
+/// Parses the LN:i: length tag of an S record whose sequence is "*" (real
+/// pipelines emit sequence-free GFAs this way). Returns true and sets `len`
+/// when the field is a well-formed LN tag.
+inline bool parse_ln_tag(std::string_view field, std::uint32_t& len) {
+    constexpr std::string_view kPrefix = "LN:i:";
+    if (field.size() <= kPrefix.size() || field.substr(0, kPrefix.size()) != kPrefix) {
+        return false;
+    }
+    std::uint64_t v = 0;
+    for (const char c : field.substr(kPrefix.size())) {
+        if (c < '0' || c > '9') return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        if (v > 0xFFFFFFFFull) return false;
+    }
+    len = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+}  // namespace pgl::graph::gfa_detail

@@ -94,7 +94,15 @@ public:
     }
 
 private:
+    friend class LeanGraphBuilder;
+
     void append_path(const std::vector<Handle>& steps);
+
+    // Step-at-a-time path construction shared by append_path and the
+    // streaming builder, so every ingestion route yields bit-identical
+    // step records for the same walk.
+    void steps_add(Handle h, std::uint64_t& pos);
+    void steps_end_path(std::uint64_t pos);
 
     std::vector<std::uint32_t> node_len_;
 
@@ -108,6 +116,48 @@ private:
     std::vector<std::uint64_t> path_nuc_len_;
     std::uint64_t total_path_nuc_ = 0;
     std::uint64_t max_path_nuc_len_ = 0;
+};
+
+/// Incremental LeanGraph construction for streaming ingestion: nodes are
+/// registered as their lengths become known (S records), then paths are fed
+/// one step at a time (P walks / W walks / cached step tables) without ever
+/// materializing a per-path Handle vector, let alone a VariationGraph. The
+/// cumulative-position arithmetic is LeanGraph's own, so a builder-made
+/// graph is bit-identical to from_graph()/from_parts() on the same walks.
+class LeanGraphBuilder {
+public:
+    LeanGraphBuilder() { g_.path_offset_.push_back(0); }
+
+    /// Registers a node of the given nucleotide length; ids are dense,
+    /// assigned in call order starting at 0.
+    NodeId add_node(std::uint32_t length);
+
+    void reserve_nodes(std::size_t n) { g_.node_len_.reserve(n); }
+    void reserve_paths(std::size_t n);
+    void reserve_steps(std::uint64_t n);
+
+    /// Starts a new path; steps are appended with add_step until end_path.
+    void begin_path();
+    /// Appends one oriented step; h.id() must be a registered node.
+    void add_step(Handle h);
+    /// Finishes the current path; returns its step count.
+    std::uint32_t end_path();
+
+    std::uint32_t node_count() const noexcept { return g_.node_count(); }
+    std::uint32_t path_count() const noexcept {
+        return static_cast<std::uint32_t>(g_.path_nuc_len_.size());
+    }
+    std::uint64_t current_path_steps() const noexcept {
+        return g_.step_node_.size() - g_.path_offset_.back();
+    }
+
+    /// Extracts the finished graph; the builder must not be reused after.
+    LeanGraph finish();
+
+private:
+    LeanGraph g_;
+    std::uint64_t pos_ = 0;
+    bool in_path_ = false;
 };
 
 }  // namespace pgl::graph

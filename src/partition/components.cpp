@@ -1,55 +1,26 @@
 #include "partition/components.hpp"
 
 #include <cassert>
-#include <numeric>
 #include <utility>
+
+#include "core/union_find.hpp"
+#include "graph/gfa_stream.hpp"
 
 namespace pgl::partition {
 
 namespace {
 
-/// Union-find with path halving and union by size.
-class UnionFind {
-public:
-    explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
-        std::iota(parent_.begin(), parent_.end(), 0u);
-    }
-
-    std::uint32_t find(std::uint32_t x) noexcept {
-        while (parent_[x] != x) {
-            parent_[x] = parent_[parent_[x]];  // path halving
-            x = parent_[x];
-        }
-        return x;
-    }
-
-    void unite(std::uint32_t a, std::uint32_t b) noexcept {
-        a = find(a);
-        b = find(b);
-        if (a == b) return;
-        if (size_[a] < size_[b]) std::swap(a, b);
-        parent_[b] = a;
-        size_[a] += size_[b];
-    }
-
-private:
-    std::vector<std::uint32_t> parent_;
-    std::vector<std::uint32_t> size_;
-};
+using core::UnionFind;
 
 /// Compresses union-find roots into dense component ids numbered by the
 /// smallest node id in each component (scan order).
 ComponentLabels finalize_labels(UnionFind& uf, std::uint32_t n_nodes) {
+    (void)n_nodes;
+    assert(uf.element_count() == n_nodes);
+    auto dense = core::dense_labels(uf);
     ComponentLabels labels;
-    labels.node_component.assign(n_nodes, kNoComponent);
-    std::vector<std::uint32_t> root_to_component(n_nodes, kNoComponent);
-    for (std::uint32_t v = 0; v < n_nodes; ++v) {
-        const std::uint32_t root = uf.find(v);
-        if (root_to_component[root] == kNoComponent) {
-            root_to_component[root] = labels.count++;
-        }
-        labels.node_component[v] = root_to_component[root];
-    }
+    labels.count = dense.count;
+    labels.node_component = std::move(dense.label);
     return labels;
 }
 
@@ -148,6 +119,15 @@ ComponentLabels label_components(const graph::LeanGraph& g) {
     return labels;
 }
 
+ComponentLabels take_labels(graph::LeanIngest& ing) {
+    ComponentLabels labels;
+    labels.count = ing.component_count;
+    labels.node_component = std::move(ing.node_component);
+    labels.path_component = std::move(ing.path_component);
+    ing.component_count = 0;
+    return labels;
+}
+
 Decomposition decompose(const graph::VariationGraph& g) {
     return build_decomposition(
         label_components(g), static_cast<std::uint32_t>(g.node_count()),
@@ -158,8 +138,12 @@ Decomposition decompose(const graph::VariationGraph& g) {
 }
 
 Decomposition decompose(const graph::LeanGraph& g) {
+    return decompose(g, label_components(g));
+}
+
+Decomposition decompose(const graph::LeanGraph& g, ComponentLabels labels) {
     return build_decomposition(
-        label_components(g), g.node_count(), g.path_count(),
+        std::move(labels), g.node_count(), g.path_count(),
         [&](graph::NodeId v) { return g.node_length(v); },
         [&](std::uint64_t p) {
             const auto pi = static_cast<std::uint32_t>(p);

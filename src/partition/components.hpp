@@ -21,6 +21,10 @@
 #include "graph/lean_graph.hpp"
 #include "graph/variation_graph.hpp"
 
+namespace pgl::graph {
+struct LeanIngest;  // graph/gfa_stream.hpp
+}
+
 namespace pgl::partition {
 
 /// Sentinel for "not assigned to any component" (only empty paths).
@@ -42,6 +46,11 @@ ComponentLabels label_components(const graph::VariationGraph& g);
 /// a LeanGraph retains. Nodes touched by no path become singleton
 /// components.
 ComponentLabels label_components(const graph::LeanGraph& g);
+
+/// Adopts the labels a streaming ingest computed while parsing (edge +
+/// path connectivity, same numbering as the rich-graph labeler). Moves the
+/// label vectors out of `ing`; its graph and name tables are untouched.
+ComponentLabels take_labels(graph::LeanIngest& ing);
 
 /// One connected component, sliced out as a standalone lean graph.
 struct ComponentSubgraph {
@@ -69,5 +78,12 @@ Decomposition decompose(const graph::VariationGraph& g);
 
 /// Decomposes a lean graph (path connectivity only).
 Decomposition decompose(const graph::LeanGraph& g);
+
+/// Decomposes a lean graph using precomputed labels — the entry point for
+/// the streaming ingestion path, whose reader builds edge + path
+/// connectivity with a union-find while parsing (graph::LeanIngest), so the
+/// decomposition matches the rich-graph overload without a VariationGraph
+/// ever existing. `labels` must cover exactly the graph's nodes and paths.
+Decomposition decompose(const graph::LeanGraph& g, ComponentLabels labels);
 
 }  // namespace pgl::partition

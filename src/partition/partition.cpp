@@ -37,4 +37,10 @@ PartitionResult partition_layout(const graph::LeanGraph& g,
     return partition_layout(decompose(g), opt);
 }
 
+PartitionResult partition_layout(const graph::LeanGraph& g,
+                                 ComponentLabels labels,
+                                 const PartitionOptions& opt) {
+    return partition_layout(decompose(g, std::move(labels)), opt);
+}
+
 }  // namespace pgl::partition

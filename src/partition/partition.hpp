@@ -41,6 +41,14 @@ PartitionResult partition_layout(const graph::VariationGraph& g,
 PartitionResult partition_layout(const graph::LeanGraph& g,
                                  const PartitionOptions& opt);
 
+/// Decomposes a lean graph with precomputed labels (the streaming ingest
+/// path: graph::LeanIngest carries edge + path connectivity computed while
+/// parsing), then lays out and stitches. Byte-identical to the rich-graph
+/// overload on the same input file.
+PartitionResult partition_layout(const graph::LeanGraph& g,
+                                 ComponentLabels labels,
+                                 const PartitionOptions& opt);
+
 /// Schedules and stitches an existing decomposition (shared by both
 /// overloads; useful when the caller wants to reuse the decomposition).
 PartitionResult partition_layout(Decomposition d, const PartitionOptions& opt);

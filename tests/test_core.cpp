@@ -53,6 +53,20 @@ TEST(Schedule, EmptyForZeroIterations) {
     EXPECT_TRUE(core::make_eta_schedule(0, 0.01, 100).empty());
 }
 
+TEST(Schedule, TinyGraphClampsEtaMinToEtaMax) {
+    // max_dref = 1 gives eta_max = 1; an eps above that used to flip the
+    // decay's sign (negative lambda) so the learning rate *grew* across
+    // iterations. The clamp must keep the schedule non-increasing and
+    // capped at eta_max.
+    const auto etas = core::make_eta_schedule(8, 2.0, 1.0);
+    ASSERT_EQ(etas.size(), 8u);
+    EXPECT_DOUBLE_EQ(etas.front(), 1.0);
+    for (std::size_t i = 1; i < etas.size(); ++i) {
+        EXPECT_LE(etas[i], etas[i - 1]);
+        EXPECT_LE(etas[i], 1.0);
+    }
+}
+
 // --- Step math ---
 
 TEST(StepMath, PullsPointsTogetherWhenTooFar) {

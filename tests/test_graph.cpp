@@ -164,13 +164,28 @@ TEST(Gfa, SkipsUnknownRecordsAndComments) {
         "# comment\n"
         "H\tVN:Z:1.0\n"
         "S\t1\tA\n"
-        "W\tsample\t1\tchr\t0\t1\t>1\n"
+        "C\t1\t+\t2\t+\t0\t1M\n"
         "S\t2\tC\n"
         "L\t1\t+\t2\t+\t0M\n";
     std::stringstream ss(gfa);
     const auto g = read_gfa(ss);
     EXPECT_EQ(g.node_count(), 2u);
     EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_EQ(g.path_count(), 0u);
+}
+
+TEST(Gfa, WalkRecordsBecomePaths) {
+    // GFA 1.1 W records are walks — modern pangenome pipelines emit them
+    // instead of P lines; they must land as paths, not be skipped.
+    const std::string gfa =
+        "S\t1\tA\n"
+        "S\t2\tC\n"
+        "W\tsample\t1\tchr\t0\t2\t>1>2\n";
+    std::stringstream ss(gfa);
+    const auto g = read_gfa(ss);
+    ASSERT_EQ(g.path_count(), 1u);
+    EXPECT_EQ(g.path(0).name, "sample#1#chr:0-2");
+    EXPECT_EQ(g.path(0).steps.size(), 2u);
 }
 
 TEST(Gfa, ThrowsOnUnknownSegmentReference) {
@@ -198,6 +213,64 @@ TEST(Gfa, StarSequenceBecomesEmptyNode) {
     std::stringstream ss("S\t1\t*\n");
     const auto g = read_gfa(ss);
     EXPECT_EQ(g.node_length(0), 0u);
+}
+
+TEST(Gfa, CrlfLinesParseLikeUnixLines) {
+    // Windows-edited GFAs end lines in \r\n; the trailing \r must not leak
+    // into orientations ("+\r" used to fail) or segment names.
+    const std::string gfa =
+        "H\tVN:Z:1.0\r\n"
+        "S\tseg1\tACGT\r\n"
+        "S\tseg2\tTT\r\n"
+        "L\tseg1\t+\tseg2\t+\t0M\r\n"
+        "P\tp1\tseg1+,seg2+\t*\r\n";
+    std::stringstream ss(gfa);
+    const auto g = read_gfa(ss);
+    EXPECT_EQ(g.node_count(), 2u);
+    EXPECT_EQ(g.edge_count(), 1u);
+    ASSERT_EQ(g.path_count(), 1u);
+    EXPECT_EQ(g.node_name(0), "seg1");
+    EXPECT_EQ(g.node_name(1), "seg2");
+    EXPECT_EQ(g.path(0).name, "p1");
+    EXPECT_EQ(g.validate(), "");
+}
+
+TEST(Gfa, RoundTripPreservesSegmentNames) {
+    // read -> write -> read must be name-stable: write_gfa used to renumber
+    // every segment to id + 1, so named graphs degraded on first touch.
+    const std::string gfa =
+        "H\tVN:Z:1.0\n"
+        "S\tchr1_head\tACGT\n"
+        "S\tsnv_a\tT\n"
+        "L\tchr1_head\t+\tsnv_a\t-\t0M\n"
+        "P\thap1\tchr1_head+,snv_a-\t*\n";
+    std::stringstream in1(gfa);
+    const auto g1 = read_gfa(in1);
+    EXPECT_EQ(g1.node_name(0), "chr1_head");
+    EXPECT_EQ(g1.node_name(1), "snv_a");
+
+    std::stringstream out1;
+    write_gfa(g1, out1);
+    const std::string first = out1.str();
+    EXPECT_NE(first.find("S\tchr1_head\t"), std::string::npos);
+    EXPECT_NE(first.find("P\thap1\tchr1_head+,snv_a-"), std::string::npos);
+
+    // Second round trip is byte-stable.
+    std::stringstream in2(first);
+    const auto g2 = read_gfa(in2);
+    std::stringstream out2;
+    write_gfa(g2, out2);
+    EXPECT_EQ(out2.str(), first);
+}
+
+TEST(Gfa, UnnamedNodesKeepHistoricalNumbering) {
+    // Programmatic graphs (workload generators) have no names; the writer
+    // must keep emitting 1-based decimal ids for them.
+    const auto g = make_fig1_graph();
+    std::stringstream out;
+    write_gfa(g, out);
+    EXPECT_NE(out.str().find("S\t1\tAA"), std::string::npos);
+    EXPECT_NE(out.str().find("S\t8\tC"), std::string::npos);
 }
 
 // --- LeanGraph ---

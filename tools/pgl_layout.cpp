@@ -4,20 +4,26 @@
 // common LayoutEngine interface; `--backend` selects any registered engine
 // by name, while `--gpu` / `--cdl` remain as familiar aliases.
 //
-//   pgl-layout -i graph.gfa -o graph.lay [--backend NAME | --gpu[=a6000|a100]]
+//   pgl-layout -i graph.gfa|graph.pgg -o graph.lay
+//              [--backend NAME | --gpu[=a6000|a100]]
 //              [--iters N] [--factor F] [--threads N] [--seed N]
+//              [--save-graph FILE.pgg] [--load-graph FILE.pgg]
 //              [--partition] [--component-workers N] [--per-component-out DIR]
 //              [--svg out.svg] [--ppm out.ppm] [--stress] [--cdl]
 //              [--progress] [--timing] [--list-backends]
 //
-// Reads a GFA v1 pangenome graph, computes the PG-SGD layout on the chosen
-// backend, writes the binary .lay layout and optional renders, and reports
-// sampled path stress when asked. With --partition the graph is decomposed
-// into connected components (one per chromosome in a whole-genome GFA),
-// each component is laid out by its own engine instance — spread across
-// --component-workers threads, largest component first — and the results
-// are shelf-packed onto one canvas (see README "Partitioned whole-genome
-// layout" for the determinism contract).
+// Ingestion streams GFA 1.0/1.1 (S/L/P/W records, CRLF tolerant) directly
+// into the engine-ready LeanGraph — the rich VariationGraph is never
+// materialized — or loads a binary .pgg graph cache (auto-detected by
+// extension, or forced with --load-graph). --save-graph writes the cache
+// after ingestion so repeated runs of the same pangenome skip GFA parsing;
+// with --save-graph and no -o the tool converts and exits. With
+// --partition the graph is decomposed into connected components using the
+// labels computed during ingestion, each component is laid out by its own
+// engine instance — spread across --component-workers threads, largest
+// component first — and the results are shelf-packed onto one canvas (see
+// README "Partitioned whole-genome layout" for the determinism contract).
+#include <charconv>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -26,6 +32,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <system_error>
 
 #include "core/cpu_engine.hpp"
 #include "core/engine.hpp"
@@ -33,9 +40,10 @@
 #include "draw/svg.hpp"
 #include "gpusim/gpu_machine.hpp"
 #include "gpusim/gpu_spec.hpp"
-#include "graph/gfa.hpp"
+#include "graph/gfa_stream.hpp"
 #include "graph/lean_graph.hpp"
 #include "io/lay_io.hpp"
+#include "io/pgg_io.hpp"
 #include "metrics/path_stress.hpp"
 #include "partition/partition.hpp"
 
@@ -43,7 +51,7 @@ namespace {
 
 void usage(const char* argv0) {
     std::cerr
-        << "usage: " << argv0 << " -i graph.gfa -o layout.lay [options]\n"
+        << "usage: " << argv0 << " -i graph.gfa|graph.pgg -o layout.lay [options]\n"
         << "  --backend NAME      run a registered engine (see --list-backends)\n"
         << "  --gpu[=a6000|a100]  alias for the optimized simulated GPU\n"
         << "  --cdl               alias for cpu-aos (cache-friendly store)\n"
@@ -51,6 +59,9 @@ void usage(const char* argv0) {
         << "  --factor F          updates per iteration = F x total steps (default 10)\n"
         << "  --threads N         CPU Hogwild workers (default 1)\n"
         << "  --seed N            PRNG seed\n"
+        << "  --save-graph FILE   write the parsed graph as a binary .pgg cache\n"
+        << "                      (with no -o: convert and exit)\n"
+        << "  --load-graph FILE   load a .pgg cache instead of -i\n"
         << "  --partition         decompose into connected components, lay out\n"
         << "                      each with its own engine, stitch one canvas\n"
         << "  --component-workers N  components laid out concurrently (default 1)\n"
@@ -69,12 +80,48 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
         .count();
 }
 
+// Checked numeric option parsing. std::atoi silently turned garbage and
+// out-of-range values into 0 and the run "succeeded" with a nonsense
+// config; from_chars lets us reject both with a clear diagnostic.
+template <typename T>
+T parse_int_or_die(const std::string& flag, const char* text) {
+    T value{};
+    const char* end = text + std::strlen(text);
+    const auto [ptr, ec] = std::from_chars(text, end, value);
+    if (ec == std::errc::result_out_of_range) {
+        std::cerr << "value for " << flag << " is out of range: '" << text << "'\n";
+        std::exit(2);
+    }
+    if (ec != std::errc() || ptr != end) {
+        std::cerr << "invalid value for " << flag << ": '" << text
+                  << "' (expected a non-negative integer)\n";
+        std::exit(2);
+    }
+    return value;
+}
+
+double parse_double_or_die(const std::string& flag, const char* text) {
+    double value = 0.0;
+    const char* end = text + std::strlen(text);
+    const auto [ptr, ec] = std::from_chars(text, end, value);
+    if (ec == std::errc::result_out_of_range) {
+        std::cerr << "value for " << flag << " is out of range: '" << text << "'\n";
+        std::exit(2);
+    }
+    if (ec != std::errc() || ptr != end) {
+        std::cerr << "invalid value for " << flag << ": '" << text
+                  << "' (expected a number)\n";
+        std::exit(2);
+    }
+    return value;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace pgl;
     std::string in_path, out_path, svg_path, ppm_path, backend, gpu_name;
-    std::string per_component_dir;
+    std::string per_component_dir, save_graph_path, load_graph_path;
     bool report_stress = false, progress = false, partition_run = false;
     bool timing = false;
     std::uint32_t component_workers = 1;
@@ -125,17 +172,21 @@ int main(int argc, char** argv) {
             backend = "cpu-aos";
             gpu_name.clear();
         } else if (arg == "--iters") {
-            cfg.iter_max = static_cast<std::uint32_t>(std::atoi(next()));
+            cfg.iter_max = parse_int_or_die<std::uint32_t>(arg, next());
         } else if (arg == "--factor") {
-            cfg.steps_per_iter_factor = std::atof(next());
+            cfg.steps_per_iter_factor = parse_double_or_die(arg, next());
         } else if (arg == "--threads") {
-            cfg.threads = static_cast<std::uint32_t>(std::atoi(next()));
+            cfg.threads = parse_int_or_die<std::uint32_t>(arg, next());
         } else if (arg == "--seed") {
-            cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+            cfg.seed = parse_int_or_die<std::uint64_t>(arg, next());
+        } else if (arg == "--save-graph") {
+            save_graph_path = next();
+        } else if (arg == "--load-graph") {
+            load_graph_path = next();
         } else if (arg == "--partition") {
             partition_run = true;
         } else if (arg == "--component-workers") {
-            component_workers = static_cast<std::uint32_t>(std::atoi(next()));
+            component_workers = parse_int_or_die<std::uint32_t>(arg, next());
         } else if (arg == "--per-component-out") {
             per_component_dir = next();
         } else if (arg == "--svg") {
@@ -157,8 +208,16 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
-    if (in_path.empty() || out_path.empty()) {
-        std::cerr << "both -i and -o are required\n";
+    if (!load_graph_path.empty()) {
+        if (!in_path.empty()) {
+            std::cerr << "-i and --load-graph are mutually exclusive\n";
+            return 2;
+        }
+        in_path = load_graph_path;
+    }
+    const bool convert_only = !save_graph_path.empty() && out_path.empty();
+    if (in_path.empty() || (out_path.empty() && !convert_only)) {
+        std::cerr << "both -i (or --load-graph) and -o are required\n";
         usage(argv[0]);
         return 2;
     }
@@ -183,15 +242,20 @@ int main(int argc, char** argv) {
     const auto t_start = std::chrono::steady_clock::now();
     try {
         auto t0 = std::chrono::steady_clock::now();
-        const auto vg = graph::read_gfa_file(in_path);
-        const std::string problem = vg.validate();
-        if (!problem.empty()) {
-            std::cerr << "invalid graph: " << problem << "\n";
-            return 1;
-        }
-        const auto g = graph::LeanGraph::from_graph(vg);
+        // Streams GFA (or loads the .pgg cache — decided by extension)
+        // straight into the LeanGraph; no VariationGraph is built.
+        graph::LeanIngest ingest =
+            !load_graph_path.empty() ? io::read_pgg_file(load_graph_path)
+                                     : io::load_graph_file(in_path);
+        const graph::LeanGraph& g = ingest.graph;
         std::cerr << "loaded " << g.node_count() << " nodes, " << g.path_count()
-                  << " paths, " << g.total_path_steps() << " steps\n";
+                  << " paths, " << g.total_path_steps() << " steps, "
+                  << ingest.component_count << " components\n";
+        if (!save_graph_path.empty()) {
+            io::write_pgg_file(ingest, save_graph_path);
+            std::cerr << "wrote graph cache " << save_graph_path << "\n";
+            if (convert_only) return 0;
+        }
         t_load = seconds_since(t0);
 
         core::Layout final_layout;
@@ -210,7 +274,8 @@ int main(int argc, char** argv) {
                               << p.seconds << " s\n";
                 };
             }
-            part = partition::partition_layout(vg, popt);
+            part = partition::partition_layout(
+                g, partition::take_labels(ingest), popt);
             std::cerr << backend << ": " << part.decomposition.count()
                       << " components, " << part.updates << " updates in "
                       << part.seconds << " s (engine time "
