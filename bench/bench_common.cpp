@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include "core/kernels/update_kernel.hpp"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,16 +45,30 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
                 std::cerr << "\n";
                 std::exit(2);
             }
+        } else if (arg == "--kernel") {
+            o.kernel = next();
+            if (!core::KernelRegistry::instance().contains(o.kernel)) {
+                std::cerr << "unknown kernel " << o.kernel << "; available:";
+                for (const auto& n : core::KernelRegistry::instance().names()) {
+                    std::cerr << " " << n;
+                }
+                std::cerr << "\n";
+                std::exit(2);
+            }
         } else if (arg == "--json") {
             o.json_path = next();
         } else if (arg == "--input") {
             o.input_path = next();
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "options: --scale F --iters N --factor F --threads N"
-                         " --seed N --quick --backend NAME --json FILE"
-                         " --input FILE\n";
+                         " --seed N --quick --backend NAME --kernel NAME"
+                         " --json FILE --input FILE\n";
             std::cout << "backends:";
             for (const auto& n : core::EngineRegistry::instance().names()) {
+                std::cout << " " << n;
+            }
+            std::cout << "\nkernels:";
+            for (const auto& n : core::KernelRegistry::instance().names()) {
                 std::cout << " " << n;
             }
             std::cout << "\n";
@@ -76,6 +92,7 @@ core::LayoutConfig BenchOptions::layout_config() const {
     cfg.steps_per_iter_factor = factor;
     cfg.threads = threads;
     cfg.seed = seed;
+    cfg.kernel = kernel;
     return cfg;
 }
 

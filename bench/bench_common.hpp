@@ -25,6 +25,7 @@ struct BenchOptions {
     std::uint64_t seed = 42;
     bool quick = false;          ///< further reduce work (CI smoke mode)
     std::string backend = "cpu-soa";  ///< EngineRegistry name (--backend)
+    std::string kernel = "scalar";    ///< KernelRegistry name (--kernel)
     std::string json_path;       ///< --json FILE: machine-readable records
     std::string input_path;      ///< --input FILE: real GFA/.pgg instead of
                                  ///< the synthetic workload (where supported)

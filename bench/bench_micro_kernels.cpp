@@ -82,7 +82,7 @@ void BM_FullUpdateStep(benchmark::State& state) {
     rng::Xoshiro256Plus rng(5);
     rng::Xoshiro256Plus init(6);
     const auto initial = core::make_linear_initial_layout(g, init);
-    core::LayoutSoA store(initial);
+    core::XYStore store(initial);
     for (auto _ : state) {
         const auto t = sampler.sample(false, rng);
         if (!t.valid) continue;

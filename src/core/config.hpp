@@ -4,6 +4,7 @@
 // in the second half, N_steps = 10 x (sum of path step counts) per
 // iteration.
 #include <cstdint>
+#include <string>
 
 namespace pgl::core {
 
@@ -44,6 +45,12 @@ struct LayoutConfig {
 
     /// Scale of the uniform y-jitter in the initial layout (x mean node len).
     double init_jitter = 1.0;
+
+    /// Update kernel (KernelRegistry name) the batch-draining engines apply
+    /// terms with: "scalar" (reference) or "simd" (vectorized,
+    /// byte-identical). Engines resolve — and validate — the name at
+    /// init().
+    std::string kernel = "scalar";
 
     std::uint32_t schedule_length() const noexcept {
         return schedule_iter_max ? schedule_iter_max : iter_max;

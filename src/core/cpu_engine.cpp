@@ -5,6 +5,7 @@
 #include <chrono>
 #include <vector>
 
+#include "core/kernels/update_kernel.hpp"
 #include "core/schedule.hpp"
 #include "core/step_math.hpp"
 #include "core/term_batch.hpp"
@@ -17,9 +18,11 @@ namespace {
 
 constexpr std::size_t kBatchSlice = kBatchSliceTerms;
 
-template <typename Store>
+/// The legacy per-term Hogwild loop: sample, update, repeat. Goes through
+/// the store's relaxed-atomic accessors because with threads > 1 the
+/// workers race on the coordinates by design.
 std::uint64_t run_scalar_iter(const PairSampler& sampler, double eta,
-                              bool cooling_iter, Store& store,
+                              bool cooling_iter, XYStore& store,
                               rng::Xoshiro256Plus& rng, std::uint64_t steps) {
     std::uint64_t skipped = 0;
     for (std::uint64_t s = 0; s < steps; ++s) {
@@ -42,9 +45,9 @@ std::uint64_t run_scalar_iter(const PairSampler& sampler, double eta,
     return skipped;
 }
 
-template <typename Store>
 std::uint64_t run_batched_iter(const PairSampler& sampler, double eta,
-                               bool cooling_iter, Store& store,
+                               bool cooling_iter, XYStore& store,
+                               const UpdateKernel& kern,
                                rng::Xoshiro256Plus& rng, std::uint64_t steps,
                                TermBatch& batch) {
     std::uint64_t skipped = 0;
@@ -53,16 +56,15 @@ std::uint64_t run_batched_iter(const PairSampler& sampler, double eta,
             static_cast<std::size_t>(std::min<std::uint64_t>(kBatchSlice, left));
         batch.clear();
         skipped += sampler.fill_batch(cooling_iter, rng, n, batch);
-        apply_term_batch(batch, eta, store);
+        kern.apply(batch, eta, store);
         left -= n;
     }
     return skipped;
 }
 
-template <typename Store>
 LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
-                        Store& store, bool batched, const ProgressHook& hook,
-                        ThreadPool& pool) {
+                        XYStore& store, bool batched, const UpdateKernel& kern,
+                        const ProgressHook& hook, ThreadPool& pool) {
     LayoutResult result;
     result.eta_schedule = make_eta_schedule(
         cfg.schedule_length(), cfg.eps,
@@ -96,7 +98,7 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
             const bool cooling_iter = cfg.cooling(iter);
             const std::uint64_t sk =
                 batched ? run_batched_iter(sampler, eta, cooling_iter, store,
-                                           rng, n_steps, batch)
+                                           kern, rng, n_steps, batch)
                         : run_scalar_iter(sampler, eta, cooling_iter, store,
                                           rng, n_steps);
             skipped.fetch_add(sk, std::memory_order_relaxed);
@@ -121,11 +123,10 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
         // the persistent workers sample their shard's TermBatch in parallel
         // (the expensive part: PRNG draws, alias/Zipf lookups, cold step
         // records), then the calling thread applies the batches in fixed
-        // shard order. Racing the applies — the old behaviour — made a
-        // fixed (seed, threads) run irreproducible; fixed-order application
-        // is the property the partition scheduler's byte-equivalence
-        // contract relies on, and the execution shape sharded/SIMD backends
-        // will reuse.
+        // shard order through the configured kernel. Racing the applies —
+        // the old behaviour — made a fixed (seed, threads) run
+        // irreproducible; fixed-order application is the property the
+        // partition scheduler's byte-equivalence contract relies on.
         std::vector<rng::Xoshiro256Plus> rngs;
         rngs.reserve(n_threads);
         for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
@@ -161,7 +162,7 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
                 });
                 for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
                     if (slice[tid] == 0) continue;
-                    apply_term_batch(batches[tid], eta, store);
+                    kern.apply(batches[tid], eta, store);
                     iter_skipped += worker_skipped[tid];
                     left[tid] -= slice[tid];
                     left_total -= slice[tid];
@@ -179,18 +180,14 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
     return result;
 }
 
-/// Dispatches on the coordinate store. `pool` must have cfg.threads workers
-/// when cfg.threads > 1 (single-threaded runs never touch it).
+/// `pool` must have cfg.threads workers when cfg.threads > 1
+/// (single-threaded runs never touch it).
 LayoutResult run_layout_from(const graph::LeanGraph& g, const LayoutConfig& cfg,
-                             const Layout& initial, CoordStore store,
-                             bool batched, const ProgressHook& hook,
+                             const Layout& initial, bool batched,
+                             const UpdateKernel& kern, const ProgressHook& hook,
                              ThreadPool& pool) {
-    if (store == CoordStore::kAoS) {
-        LayoutAoS s(initial, g);
-        return run_layout(g, cfg, s, batched, hook, pool);
-    }
-    LayoutSoA s(initial);
-    return run_layout(g, cfg, s, batched, hook, pool);
+    XYStore store(initial);
+    return run_layout(g, cfg, store, batched, kern, hook, pool);
 }
 
 class CpuLayoutEngine final : public LayoutEngine {
@@ -205,6 +202,11 @@ public:
 
 protected:
     void do_init() override {
+        // Resolving here also validates cfg.kernel: an unknown name throws
+        // before any work starts. (The per-term Hogwild path applies terms
+        // as it samples them and never drains a batch, but it still rejects
+        // bad names the same way.)
+        kernel_ = make_update_kernel(cfg_.kernel);
         // The pool outlives every run(): workers are spawned once per
         // init(), never inside the iteration loop.
         const std::uint32_t n = cfg_.threads > 1 ? cfg_.threads : 0;
@@ -219,13 +221,14 @@ protected:
         if (has_progress_hook()) {
             hook = [this](const IterationStats& s) { emit_progress(s); };
         }
-        return run_layout_from(*graph_, cfg, initial, store_, batched_, hook,
+        return run_layout_from(*graph_, cfg, initial, batched_, *kernel_, hook,
                                *pool_);
     }
 
 private:
     CoordStore store_;
     bool batched_;
+    std::unique_ptr<const UpdateKernel> kernel_;
     std::unique_ptr<ThreadPool> pool_;
 };
 
@@ -236,9 +239,10 @@ std::unique_ptr<LayoutEngine> make_cpu_engine(CoordStore store, bool batched) {
 }
 
 LayoutResult layout_cpu_from(const graph::LeanGraph& g, const LayoutConfig& cfg,
-                             const Layout& initial, CoordStore store) {
+                             const Layout& initial, CoordStore) {
     ThreadPool pool(cfg.threads > 1 ? cfg.threads : 0);
-    return run_layout_from(g, cfg, initial, store, /*batched=*/false, {}, pool);
+    const auto kern = make_update_kernel(cfg.kernel);
+    return run_layout_from(g, cfg, initial, /*batched=*/false, *kern, {}, pool);
 }
 
 LayoutResult layout_cpu(const graph::LeanGraph& g, const LayoutConfig& cfg,

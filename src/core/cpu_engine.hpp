@@ -5,7 +5,7 @@
 // locking; the graph's extreme sparsity makes collisions harmless, exactly
 // the argument of Sec. III-A.
 //
-// Two execution styles share the storage-templated update code:
+// Two execution styles share the XYStore-based update code:
 //   * scalar — the legacy per-term loop (sample, update, repeat);
 //   * batched — each worker fills a TermBatch per slice via
 //     PairSampler::fill_batch; with threads > 1 the filled batches are
@@ -16,9 +16,13 @@
 //     scalar engine's exact PRNG stream, so the two produce bit-identical
 //     layouts.
 //
-// Both are parameterized on the coordinate store so the same code runs
-// with the original SoA organization and with the cache-friendly AoS
-// organization (the "CPU w/ cache-friendly data layout" bar of Fig. 16).
+// All engines run on the shared core::XYStore; batch-draining paths apply
+// their TermBatches through the UpdateKernel named by cfg.kernel ("scalar"
+// or the byte-identical vectorized "simd"), resolved and validated at
+// init(). The CoordStore enum below no longer selects a functional storage
+// class — it keeps the "cpu-aos" registry name alive and parameterizes the
+// memory simulators, which model the cache-friendly AoS address stream
+// (the "CPU w/ cache-friendly data layout" bar of Fig. 16).
 #include <cstdint>
 #include <memory>
 
@@ -31,7 +35,8 @@ namespace pgl::core {
 
 enum class CoordStore : std::uint8_t {
     kSoA,  ///< original ODGI organization (separate X / Y / length arrays)
-    kAoS,  ///< cache-friendly data layout (packed node records)
+    kAoS,  ///< cache-friendly data layout (packed node records; modeled by
+           ///< memsim/gpusim — functional values are identical to kSoA)
 };
 
 /// Creates a CPU layout engine ("cpu-soa" / "cpu-aos" / "cpu-batched").
@@ -44,8 +49,7 @@ std::unique_ptr<LayoutEngine> make_cpu_engine(CoordStore store, bool batched);
 /// bottleneck (paper Sec. III) — overlaps the position updates.
 /// Deterministic: a fixed (seed, threads) pair always yields the same
 /// layout byte-for-byte, unlike the Hogwild engines.
-std::unique_ptr<LayoutEngine> make_pipelined_engine(
-    CoordStore store = CoordStore::kSoA);
+std::unique_ptr<LayoutEngine> make_pipelined_engine();
 
 /// Runs the full PG-SGD loop on the CPU and returns the final layout.
 /// Deterministic for cfg.threads == 1 and a fixed seed. Thin wrapper over

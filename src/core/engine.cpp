@@ -1,6 +1,5 @@
 #include "core/engine.hpp"
 
-#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -33,8 +32,7 @@ EngineRegistry& EngineRegistry::instance() {
         r.add("cpu-aos", [] { return make_cpu_engine(CoordStore::kAoS, false); });
         r.add("cpu-batched",
               [] { return make_cpu_engine(CoordStore::kSoA, true); });
-        r.add("cpu-pipelined",
-              [] { return make_pipelined_engine(CoordStore::kSoA); });
+        r.add("cpu-pipelined", [] { return make_pipelined_engine(); });
         r.add("gpusim-base", [] {
             return gpusim::make_gpusim_engine(gpusim::KernelConfig::base(),
                                               gpusim::rtx_a6000());
@@ -47,36 +45,6 @@ EngineRegistry& EngineRegistry::instance() {
         return r;
     }();
     return registry;
-}
-
-void EngineRegistry::add(std::string name, Factory factory) {
-    for (auto& [existing, f] : factories_) {
-        if (existing == name) {
-            f = std::move(factory);
-            return;
-        }
-    }
-    factories_.emplace_back(std::move(name), std::move(factory));
-}
-
-bool EngineRegistry::contains(const std::string& name) const {
-    return std::any_of(factories_.begin(), factories_.end(),
-                       [&](const auto& e) { return e.first == name; });
-}
-
-std::unique_ptr<LayoutEngine> EngineRegistry::create(const std::string& name) const {
-    for (const auto& [key, factory] : factories_) {
-        if (key == name) return factory();
-    }
-    return nullptr;
-}
-
-std::vector<std::string> EngineRegistry::names() const {
-    std::vector<std::string> out;
-    out.reserve(factories_.size());
-    for (const auto& [key, factory] : factories_) out.push_back(key);
-    std::sort(out.begin(), out.end());
-    return out;
 }
 
 std::unique_ptr<LayoutEngine> make_engine(const std::string& name) {

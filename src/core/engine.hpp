@@ -28,6 +28,7 @@
 
 #include "core/config.hpp"
 #include "core/layout.hpp"
+#include "core/registry.hpp"
 #include "graph/lean_graph.hpp"
 
 namespace pgl::core {
@@ -104,31 +105,18 @@ private:
     ProgressHook hook_;
 };
 
-/// String-keyed factory registry of layout engines. The built-in backends
-/// are registered on first use; additional engines (future: real CUDA,
-/// sharded, async) can be registered at startup by name.
-class EngineRegistry {
+/// String-keyed factory registry of layout engines (the shared
+/// FactoryRegistry behaviour: add-or-replace, contains, create, sorted
+/// names). The built-in backends are registered on first use; additional
+/// engines (future: real CUDA, sharded, async) can be registered at
+/// startup by name.
+class EngineRegistry : public FactoryRegistry<LayoutEngine> {
 public:
-    using Factory = std::function<std::unique_ptr<LayoutEngine>()>;
-
     /// The process-wide registry, with all built-in engines registered.
     static EngineRegistry& instance();
 
-    /// Registers (or replaces) a factory under `name`.
-    void add(std::string name, Factory factory);
-
-    bool contains(const std::string& name) const;
-
-    /// Creates a fresh engine, or nullptr for an unknown name.
-    std::unique_ptr<LayoutEngine> create(const std::string& name) const;
-
-    /// All registered names, sorted.
-    std::vector<std::string> names() const;
-
 private:
     EngineRegistry() = default;
-
-    std::vector<std::pair<std::string, Factory>> factories_;
 };
 
 /// Convenience: creates a registered engine or throws std::invalid_argument

@@ -1,0 +1,29 @@
+#include "core/kernels/update_kernel.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pgl::core {
+
+KernelRegistry& KernelRegistry::instance() {
+    static KernelRegistry registry = [] {
+        KernelRegistry r;
+        r.add("scalar", make_scalar_kernel);
+        r.add("simd", make_simd_kernel);
+        return r;
+    }();
+    return registry;
+}
+
+std::unique_ptr<UpdateKernel> make_update_kernel(const std::string& name) {
+    auto kernel = KernelRegistry::instance().create(name);
+    if (!kernel) {
+        std::ostringstream msg;
+        msg << "unknown update kernel \"" << name << "\"; available:";
+        for (const auto& n : KernelRegistry::instance().names()) msg << " " << n;
+        throw std::invalid_argument(msg.str());
+    }
+    return kernel;
+}
+
+}  // namespace pgl::core

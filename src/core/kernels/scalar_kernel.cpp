@@ -1,0 +1,25 @@
+// The "scalar" reference kernel: the historical apply_term_batch loop —
+// one term at a time, in slot order, through the shared step_math update.
+// Every other kernel is defined by byte-equivalence to this one.
+#include "core/kernels/update_kernel.hpp"
+
+namespace pgl::core {
+
+namespace {
+
+class ScalarKernel final : public UpdateKernel {
+public:
+    std::string_view name() const noexcept override { return "scalar"; }
+
+    void apply(const TermBatch& b, double eta, XYStore& store) const override {
+        apply_term_slots(b, 0, b.size(), eta, store.x(), store.y());
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<UpdateKernel> make_scalar_kernel() {
+    return std::make_unique<ScalarKernel>();
+}
+
+}  // namespace pgl::core

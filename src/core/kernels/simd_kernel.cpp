@@ -1,0 +1,394 @@
+// The "simd" update kernel: the batch apply split into (a) a vectorized
+// compute-deltas pass over the TermBatch SoA columns — d_ref and nudge are
+// loaded directly as double lanes, coordinates are gathered and widened to
+// double — and (b) an in-order scatter pass. Lane groups (4 terms under
+// AVX2, 2 under SSE2, chosen by CPUID at construction so one portable
+// binary runs everywhere) are checked for cross-slot coordinate conflicts
+// first: a group in which two *different* slots touch the same endpoint
+// falls back to the chained scalar loop, so the "later terms see earlier
+// updates" contract holds exactly and the kernel stays byte-identical to
+// "scalar".
+//
+// Byte-identity rests on IEEE semantics: vaddpd/vsubpd/vmulpd/vdivpd/
+// vsqrtpd and the double<->float conversions are correctly rounded, so as
+// long as the lane arithmetic performs the scalar term's operations in the
+// scalar term's order — mul, mul, add, sqrt; no FMA contraction, no
+// reassociation — every lane computes the scalar result bit for bit.
+// (/ 2.0 is evaluated as * 0.5: both are exact exponent shifts and agree
+// for every input, including subnormals.) The PGL_NATIVE build option
+// pairs -march=x86-64-v3 with -ffp-contract=off for the same reason: the
+// compiler must not contract the *scalar* kernel's mul+add into an FMA the
+// intrinsics here don't perform.
+//
+// Within a conflict-free group the scatter may write all i endpoints, then
+// all j endpoints: slots share no coordinate across terms, and the one
+// legal intra-term duplicate (both steps on the same node with the same
+// chosen end) still sees its j store land after its i store — the scalar
+// order's observable effect.
+//
+// Gathers and scatters deliberately stay in registers (_mm_set_ps /
+// shuffle + cvtss): bouncing four narrow stores into a stack array and
+// reloading them as one wide vector is a store-forwarding stall per
+// operand, which on the sampled-batch fast path costs more than the
+// div/sqrt vectorization saves.
+//
+// Holes (valid == 0) keep their slots: their d_ref/nudge columns are
+// loaded but their gathers read index 0 (in bounds by construction) and
+// the scatter pass never writes them back. For conflict detection a hole
+// gets a per-lane sentinel index pair no real term can produce, so the
+// branchless pairwise compare never reports a hole as a conflict.
+#include "core/kernels/update_kernel.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace pgl::core {
+
+namespace {
+
+#if defined(__x86_64__)
+
+/// Per-group slot plan: endpoint coordinate indices (sentinels for holes),
+/// valid-lane mask, and whether two different slots share a coordinate.
+template <int W>
+struct GroupPlan {
+    std::uint32_t idx_i[W];
+    std::uint32_t idx_j[W];
+    unsigned lanes;
+    bool conflict;
+};
+
+/// Sentinel coordinate indices for hole slots: the top of the 32-bit index
+/// space, two per lane, so they collide with nothing (a real index there
+/// would imply a ~2^31-node graph, beyond any reachable workload) and not
+/// with each other.
+template <int W>
+GroupPlan<W> plan_group(const TermBatch& b, std::size_t base) noexcept {
+    GroupPlan<W> p;
+    p.lanes = 0;
+    for (int t = 0; t < W; ++t) {
+        const std::size_t k = base + t;
+        if (b.valid[k]) {
+            p.lanes |= 1u << t;
+            p.idx_i[t] = 2 * b.node_i[k] + b.end_i[k];
+            p.idx_j[t] = 2 * b.node_j[k] + b.end_j[k];
+        } else {
+            p.idx_i[t] = 0xFFFFFFF0u + 2 * static_cast<unsigned>(t);
+            p.idx_j[t] = 0xFFFFFFF1u + 2 * static_cast<unsigned>(t);
+        }
+    }
+    unsigned hit = 0;
+    for (int t = 1; t < W; ++t) {
+        for (int u = 0; u < t; ++u) {
+            hit |= (p.idx_i[t] == p.idx_i[u]) | (p.idx_i[t] == p.idx_j[u]) |
+                   (p.idx_j[t] == p.idx_i[u]) | (p.idx_j[t] == p.idx_j[u]);
+        }
+    }
+    p.conflict = hit != 0;
+    return p;
+}
+
+/// Endpoint indices of 4 slots as u32 lanes: 2*node + end.
+__attribute__((target("avx2"))) inline __m128i slot_idx4(
+    const std::uint32_t* node, const std::uint8_t* end) noexcept {
+    std::uint32_t ew;
+    std::memcpy(&ew, end, 4);
+    const __m128i node4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(node));
+    const __m128i end4 =
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(ew)));
+    return _mm_add_epi32(_mm_slli_epi32(node4, 1), end4);
+}
+
+__attribute__((target("avx2"))) inline __m128i rot1(__m128i v) noexcept {
+    return _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 1, 0, 3));
+}
+__attribute__((target("avx2"))) inline __m128i rot2(__m128i v) noexcept {
+    return _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2));
+}
+__attribute__((target("avx2"))) inline __m128i rot3(__m128i v) noexcept {
+    return _mm_shuffle_epi32(v, _MM_SHUFFLE(0, 3, 2, 1));
+}
+
+/// True when two *different* slots of the group share a coordinate: all
+/// 6 + 6 + 12 distinct-slot pairs via rotated compares; the diagonal
+/// (intra-term i vs j) is legal and never compared.
+__attribute__((target("avx2"))) inline bool group_conflict4(
+    __m128i ii, __m128i jj) noexcept {
+    __m128i c = _mm_cmpeq_epi32(ii, rot1(ii));
+    c = _mm_or_si128(c, _mm_cmpeq_epi32(ii, rot2(ii)));
+    c = _mm_or_si128(c, _mm_cmpeq_epi32(jj, rot1(jj)));
+    c = _mm_or_si128(c, _mm_cmpeq_epi32(jj, rot2(jj)));
+    c = _mm_or_si128(c, _mm_cmpeq_epi32(ii, rot1(jj)));
+    c = _mm_or_si128(c, _mm_cmpeq_epi32(ii, rot2(jj)));
+    c = _mm_or_si128(c, _mm_cmpeq_epi32(ii, rot3(jj)));
+    return _mm_movemask_epi8(c) != 0;
+}
+
+__attribute__((target("avx2"))) void apply_avx2(const TermBatch& b, double eta,
+                                                float* x, float* y) {
+    const std::size_t n = b.size();
+    const double* dref_col = b.d_ref.data();
+    const double* nudge_col = b.nudge.data();
+    const std::uint32_t* ni_col = b.node_i.data();
+    const std::uint32_t* nj_col = b.node_j.data();
+    const std::uint8_t* ei_col = b.end_i.data();
+    const std::uint8_t* ej_col = b.end_j.data();
+    const std::uint8_t* valid_col = b.valid.data();
+    const __m256d v_eta = _mm256_set1_pd(eta);
+    const __m256d v_one = _mm256_set1_pd(1.0);
+    const __m256d v_half = _mm256_set1_pd(0.5);
+    const __m256d v_eps = _mm256_set1_pd(1e-9);
+    const __m256d v_zero = _mm256_setzero_pd();
+    const __m256d v_sign = _mm256_set1_pd(-0.0);
+    // Distinct per-lane sentinels for hole slots (see file comment).
+    const __m128i sent_i =
+        _mm_setr_epi32(static_cast<int>(0xFFFFFFF0u), static_cast<int>(0xFFFFFFF2u),
+                       static_cast<int>(0xFFFFFFF4u), static_cast<int>(0xFFFFFFF6u));
+    const __m128i sent_j =
+        _mm_setr_epi32(static_cast<int>(0xFFFFFFF1u), static_cast<int>(0xFFFFFFF3u),
+                       static_cast<int>(0xFFFFFFF5u), static_cast<int>(0xFFFFFFF7u));
+
+    std::size_t base = 0;
+    for (; base + 4 <= n; base += 4) {
+        std::uint32_t vword;
+        std::memcpy(&vword, valid_col + base, 4);
+        if (vword == 0) continue;
+        const bool all_valid = vword == 0x01010101u;
+
+        __m128i ii = slot_idx4(ni_col + base, ei_col + base);
+        __m128i jj = slot_idx4(nj_col + base, ej_col + base);
+        if (!all_valid) {
+            // Holes take sentinel indices (conflict-inert) for the check,
+            // index 0 (in bounds, never scattered) for the gather.
+            const __m128i hole = _mm_cmpeq_epi32(
+                _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(vword))),
+                _mm_setzero_si128());
+            const __m128i gi = _mm_andnot_si128(hole, ii);
+            const __m128i gj = _mm_andnot_si128(hole, jj);
+            ii = _mm_blendv_epi8(ii, sent_i, hole);
+            jj = _mm_blendv_epi8(jj, sent_j, hole);
+            if (group_conflict4(ii, jj)) {
+                apply_term_slots(b, base, base + 4, eta, x, y);
+                continue;
+            }
+            ii = gi;
+            jj = gj;
+        } else if (group_conflict4(ii, jj)) {
+            apply_term_slots(b, base, base + 4, eta, x, y);
+            continue;
+        }
+
+        // Coordinate gathers straight off the index lanes (vgatherdps);
+        // the indices are also spilled once (wide store, contained narrow
+        // reloads — the forwarding-friendly direction) for the scatter.
+        alignas(16) std::uint32_t ia[4], ja[4];
+        _mm_store_si128(reinterpret_cast<__m128i*>(ia), ii);
+        _mm_store_si128(reinterpret_cast<__m128i*>(ja), jj);
+
+        const __m128 xi4 = _mm_i32gather_ps(x, ii, 4);
+        const __m128 yi4 = _mm_i32gather_ps(y, ii, 4);
+        const __m128 xj4 = _mm_i32gather_ps(x, jj, 4);
+        const __m128 yj4 = _mm_i32gather_ps(y, jj, 4);
+        const __m256d xi = _mm256_cvtps_pd(xi4);
+        const __m256d yi = _mm256_cvtps_pd(yi4);
+        const __m256d xj = _mm256_cvtps_pd(xj4);
+        const __m256d yj = _mm256_cvtps_pd(yj4);
+        const __m256d dref = _mm256_loadu_pd(dref_col + base);
+        const __m256d nudge = _mm256_loadu_pd(nudge_col + base);
+
+        __m256d dx = _mm256_sub_pd(xi, xj);
+        __m256d dy = _mm256_sub_pd(yi, yj);
+        __m256d mag = _mm256_sqrt_pd(
+            _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+        const __m256d near0 = _mm256_cmp_pd(mag, v_eps, _CMP_LT_OQ);
+        dx = _mm256_blendv_pd(dx, nudge, near0);
+        dy = _mm256_blendv_pd(dy, v_zero, near0);
+        mag = _mm256_blendv_pd(mag, _mm256_andnot_pd(v_sign, nudge), near0);
+
+        const __m256d w = _mm256_div_pd(v_one, _mm256_mul_pd(dref, dref));
+        const __m256d mu = _mm256_min_pd(_mm256_mul_pd(v_eta, w), v_one);
+        const __m256d delta = _mm256_mul_pd(
+            _mm256_mul_pd(mu, _mm256_sub_pd(mag, dref)), v_half);
+        const __m256d r = _mm256_div_pd(delta, mag);
+        const __m256d rx = _mm256_mul_pd(r, dx);
+        const __m256d ry = _mm256_mul_pd(r, dy);
+
+        // New endpoint values, still as float lanes (addps is the scalar
+        // path's float + float, lane for lane).
+        const __m128 nxi = _mm_add_ps(xi4, _mm256_cvtpd_ps(_mm256_xor_pd(rx, v_sign)));
+        const __m128 nyi = _mm_add_ps(yi4, _mm256_cvtpd_ps(_mm256_xor_pd(ry, v_sign)));
+        const __m128 nxj = _mm_add_ps(xj4, _mm256_cvtpd_ps(rx));
+        const __m128 nyj = _mm_add_ps(yj4, _mm256_cvtpd_ps(ry));
+
+        // Scatter: again wide stores + contained narrow reloads. Holes keep
+        // gather index 0 but are skipped here, so element 0 is never
+        // written on their behalf.
+        alignas(16) float vxi[4], vyi[4], vxj[4], vyj[4];
+        _mm_store_ps(vxi, nxi);
+        _mm_store_ps(vyi, nyi);
+        _mm_store_ps(vxj, nxj);
+        _mm_store_ps(vyj, nyj);
+        if (all_valid) {
+            for (int t = 0; t < 4; ++t) {
+                x[ia[t]] = vxi[t];
+                y[ia[t]] = vyi[t];
+            }
+            for (int t = 0; t < 4; ++t) {
+                x[ja[t]] = vxj[t];
+                y[ja[t]] = vyj[t];
+            }
+        } else {
+            for (int t = 0; t < 4; ++t) {
+                if (!valid_col[base + t]) continue;
+                x[ia[t]] = vxi[t];
+                y[ia[t]] = vyi[t];
+            }
+            for (int t = 0; t < 4; ++t) {
+                if (!valid_col[base + t]) continue;
+                x[ja[t]] = vxj[t];
+                y[ja[t]] = vyj[t];
+            }
+        }
+    }
+    if (base < n) apply_term_slots(b, base, n, eta, x, y);
+}
+
+/// SSE2 blend (blendv is SSE4.1): mask lanes are all-ones or all-zeros.
+inline __m128d sse2_blend(__m128d a, __m128d b, __m128d mask) noexcept {
+    return _mm_or_pd(_mm_andnot_pd(mask, a), _mm_and_pd(mask, b));
+}
+
+void apply_sse2(const TermBatch& b, double eta, float* x, float* y) {
+    const std::size_t n = b.size();
+    const double* dref_col = b.d_ref.data();
+    const double* nudge_col = b.nudge.data();
+    const __m128d v_eta = _mm_set1_pd(eta);
+    const __m128d v_one = _mm_set1_pd(1.0);
+    const __m128d v_half = _mm_set1_pd(0.5);
+    const __m128d v_eps = _mm_set1_pd(1e-9);
+    const __m128d v_zero = _mm_setzero_pd();
+    const __m128d v_sign = _mm_set1_pd(-0.0);
+
+    std::size_t base = 0;
+    for (; base + 2 <= n; base += 2) {
+        const GroupPlan<2> p = plan_group<2>(b, base);
+        if (p.lanes == 0) continue;
+        if (p.conflict) {
+            apply_term_slots(b, base, base + 2, eta, x, y);
+            continue;
+        }
+        std::uint32_t gi[2], gj[2];
+        for (int t = 0; t < 2; ++t) {
+            const bool v = (p.lanes >> t) & 1u;
+            gi[t] = v ? p.idx_i[t] : 0;
+            gj[t] = v ? p.idx_j[t] : 0;
+        }
+
+        const __m128 xi2 = _mm_set_ps(0.0f, 0.0f, x[gi[1]], x[gi[0]]);
+        const __m128 yi2 = _mm_set_ps(0.0f, 0.0f, y[gi[1]], y[gi[0]]);
+        const __m128 xj2 = _mm_set_ps(0.0f, 0.0f, x[gj[1]], x[gj[0]]);
+        const __m128 yj2 = _mm_set_ps(0.0f, 0.0f, y[gj[1]], y[gj[0]]);
+        const __m128d xi = _mm_cvtps_pd(xi2);
+        const __m128d yi = _mm_cvtps_pd(yi2);
+        const __m128d xj = _mm_cvtps_pd(xj2);
+        const __m128d yj = _mm_cvtps_pd(yj2);
+        const __m128d dref = _mm_loadu_pd(dref_col + base);
+        const __m128d nudge = _mm_loadu_pd(nudge_col + base);
+
+        __m128d dx = _mm_sub_pd(xi, xj);
+        __m128d dy = _mm_sub_pd(yi, yj);
+        __m128d mag = _mm_sqrt_pd(
+            _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)));
+        const __m128d near0 = _mm_cmplt_pd(mag, v_eps);
+        dx = sse2_blend(dx, nudge, near0);
+        dy = sse2_blend(dy, v_zero, near0);
+        mag = sse2_blend(mag, _mm_andnot_pd(v_sign, nudge), near0);
+
+        const __m128d w = _mm_div_pd(v_one, _mm_mul_pd(dref, dref));
+        const __m128d mu = _mm_min_pd(_mm_mul_pd(v_eta, w), v_one);
+        const __m128d delta =
+            _mm_mul_pd(_mm_mul_pd(mu, _mm_sub_pd(mag, dref)), v_half);
+        const __m128d r = _mm_div_pd(delta, mag);
+        const __m128d rx = _mm_mul_pd(r, dx);
+        const __m128d ry = _mm_mul_pd(r, dy);
+
+        const __m128 nxi = _mm_add_ps(xi2, _mm_cvtpd_ps(_mm_xor_pd(rx, v_sign)));
+        const __m128 nyi = _mm_add_ps(yi2, _mm_cvtpd_ps(_mm_xor_pd(ry, v_sign)));
+        const __m128 nxj = _mm_add_ps(xj2, _mm_cvtpd_ps(rx));
+        const __m128 nyj = _mm_add_ps(yj2, _mm_cvtpd_ps(ry));
+
+        const auto lane = [](__m128 v, int t) -> float {
+            return t == 0 ? _mm_cvtss_f32(v)
+                          : _mm_cvtss_f32(_mm_shuffle_ps(v, v, 0x55));
+        };
+        for (int t = 0; t < 2; ++t) {
+            if (!((p.lanes >> t) & 1u)) continue;
+            x[p.idx_i[t]] = lane(nxi, t);
+            y[p.idx_i[t]] = lane(nyi, t);
+        }
+        for (int t = 0; t < 2; ++t) {
+            if (!((p.lanes >> t) & 1u)) continue;
+            x[p.idx_j[t]] = lane(nxj, t);
+            y[p.idx_j[t]] = lane(nyj, t);
+        }
+    }
+    if (base < n) apply_term_slots(b, base, n, eta, x, y);
+}
+
+#endif  // defined(__x86_64__)
+
+enum class Isa : std::uint8_t { kScalarFallback, kSse2, kAvx2 };
+
+Isa detect_isa() noexcept {
+#if defined(__x86_64__)
+    if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+    return Isa::kSse2;  // baseline on x86-64
+#else
+    return Isa::kScalarFallback;
+#endif
+}
+
+class SimdKernel final : public UpdateKernel {
+public:
+    SimdKernel() : isa_(detect_isa()) {}
+
+    std::string_view name() const noexcept override { return "simd"; }
+
+    std::string_view variant() const noexcept override {
+        switch (isa_) {
+            case Isa::kAvx2: return "avx2";
+            case Isa::kSse2: return "sse2";
+            default: return "scalar-fallback";
+        }
+    }
+
+    void apply(const TermBatch& b, double eta, XYStore& store) const override {
+#if defined(__x86_64__)
+        if (isa_ == Isa::kAvx2) {
+            apply_avx2(b, eta, store.x(), store.y());
+            return;
+        }
+        if (isa_ == Isa::kSse2) {
+            apply_sse2(b, eta, store.x(), store.y());
+            return;
+        }
+#endif
+        apply_term_slots(b, 0, b.size(), eta, store.x(), store.y());
+    }
+
+private:
+    Isa isa_;
+};
+
+}  // namespace
+
+std::unique_ptr<UpdateKernel> make_simd_kernel() {
+    return std::make_unique<SimdKernel>();
+}
+
+}  // namespace pgl::core

@@ -3,16 +3,17 @@
 // start and an end visualization point (paper Sec. II-C); the layout is the
 // collection of those 2n points.
 //
-// Two storage policies implement the paper's data-layout ablation:
-//   * LayoutSoA — the "original" ODGI organization: X and Y coordinate
-//     arrays separate from the node-length array (Fig. 9a). Updating one
-//     node touches three different arrays.
-//   * LayoutAoS — the cache-friendly data layout (CDL, Fig. 9b): one packed
-//     record {len, sx, sy, ex, ey} per node, one memory access per node.
-//
-// Both policies expose relaxed-atomic accessors so the multithreaded
-// Hogwild! engine performs the same intentionally-unsynchronized updates as
-// odgi-layout without undefined behaviour (std::atomic_ref, relaxed order).
+// All engines share one concrete coordinate store, XYStore: the paper's
+// original ODGI organization (Fig. 9a) — a flat X array and a flat Y array,
+// element 2*node + end — exposed as raw contiguous float arrays so the
+// update kernels (core/kernels/) vectorize over them directly, with
+// relaxed-atomic accessors on top for the Hogwild engines' intentionally
+// unsynchronized per-term updates. The cache-friendly AoS organization
+// (CDL, Fig. 9b; one packed NodeRecord per node) survives as a *modeled*
+// layout: memsim/characterize and the GPU simulator replay its address
+// stream, parameterized by the NodeRecord shape below, while the functional
+// coordinate values — identical under either organization — live in the
+// XYStore.
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -62,11 +63,20 @@ Layout make_linear_initial_layout(const graph::LeanGraph& g, Rng& rng,
     return l;
 }
 
-/// Struct-of-arrays coordinate store (original ODGI organization).
-/// X layout matches the paper: [sx0, ex0, sx1, ex1, ...], same for Y.
-class LayoutSoA {
+/// The shared flat SoA coordinate store. X layout matches the paper:
+/// [sx0, ex0, sx1, ex1, ...], same for Y; index(node, end) = 2*node + end.
+///
+/// Two access styles, by construction compatible:
+///   * x()/y() — the raw contiguous arrays the update kernels (and any
+///     single-writer batch consumer) read and write with plain loads and
+///     stores;
+///   * load_/store_ accessors — relaxed std::atomic_ref views of the same
+///     floats, used by the Hogwild engines so their deliberate data races
+///     stay defined behaviour.
+class XYStore {
 public:
-    explicit LayoutSoA(const Layout& init) { load(init); }
+    XYStore() = default;
+    explicit XYStore(const Layout& init) { load(init); }
 
     void load(const Layout& init) {
         const std::size_t n = init.size();
@@ -81,20 +91,32 @@ public:
     }
 
     std::size_t node_count() const noexcept { return xs_.size() / 2; }
+    std::size_t coord_count() const noexcept { return xs_.size(); }
+
+    static std::size_t index(std::uint32_t node, End e) noexcept {
+        return 2 * static_cast<std::size_t>(node) + static_cast<std::size_t>(e);
+    }
+
+    float* x() noexcept { return xs_.data(); }
+    float* y() noexcept { return ys_.data(); }
+    const float* x() const noexcept { return xs_.data(); }
+    const float* y() const noexcept { return ys_.data(); }
 
     float load_x(std::uint32_t node, End e) const noexcept {
-        return std::atomic_ref<const float>(xs_[idx(node, e)])
+        return std::atomic_ref<const float>(xs_[index(node, e)])
             .load(std::memory_order_relaxed);
     }
     float load_y(std::uint32_t node, End e) const noexcept {
-        return std::atomic_ref<const float>(ys_[idx(node, e)])
+        return std::atomic_ref<const float>(ys_[index(node, e)])
             .load(std::memory_order_relaxed);
     }
     void store_x(std::uint32_t node, End e, float v) noexcept {
-        std::atomic_ref<float>(xs_[idx(node, e)]).store(v, std::memory_order_relaxed);
+        std::atomic_ref<float>(xs_[index(node, e)])
+            .store(v, std::memory_order_relaxed);
     }
     void store_y(std::uint32_t node, End e, float v) noexcept {
-        std::atomic_ref<float>(ys_[idx(node, e)]).store(v, std::memory_order_relaxed);
+        std::atomic_ref<float>(ys_[index(node, e)])
+            .store(v, std::memory_order_relaxed);
     }
 
     Layout snapshot() const {
@@ -111,16 +133,15 @@ public:
     }
 
 private:
-    static std::size_t idx(std::uint32_t node, End e) noexcept {
-        return 2 * static_cast<std::size_t>(node) + static_cast<std::size_t>(e);
-    }
-
     std::vector<float> xs_;
     std::vector<float> ys_;
 };
 
-/// Packed per-node record of the cache-friendly data layout. 24 bytes so an
-/// aligned pair of records never straddles more than one 64-byte line.
+/// Packed per-node record of the cache-friendly data layout (CDL, Fig. 9b).
+/// 24 bytes so an aligned pair of records never straddles more than one
+/// 64-byte line. The functional engines no longer instantiate this store —
+/// it defines the record shape the memory simulators (memsim/characterize,
+/// gpusim) model when replaying the CDL address stream.
 struct alignas(8) NodeRecord {
     std::uint32_t length;
     std::uint32_t pad;  // keeps the float quartet 8-byte aligned
@@ -128,60 +149,5 @@ struct alignas(8) NodeRecord {
 };
 
 static_assert(sizeof(NodeRecord) == 24);
-
-/// Array-of-structs coordinate store (cache-friendly data layout).
-class LayoutAoS {
-public:
-    LayoutAoS(const Layout& init, const graph::LeanGraph& g) {
-        const std::size_t n = init.size();
-        recs_.resize(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            recs_[i].length = g.node_length(static_cast<std::uint32_t>(i));
-            recs_[i].pad = 0;
-            recs_[i].sx = init.start_x[i];
-            recs_[i].sy = init.start_y[i];
-            recs_[i].ex = init.end_x[i];
-            recs_[i].ey = init.end_y[i];
-        }
-    }
-
-    std::size_t node_count() const noexcept { return recs_.size(); }
-
-    float load_x(std::uint32_t node, End e) const noexcept {
-        const NodeRecord& r = recs_[node];
-        return std::atomic_ref<const float>(e == End::kStart ? r.sx : r.ex)
-            .load(std::memory_order_relaxed);
-    }
-    float load_y(std::uint32_t node, End e) const noexcept {
-        const NodeRecord& r = recs_[node];
-        return std::atomic_ref<const float>(e == End::kStart ? r.sy : r.ey)
-            .load(std::memory_order_relaxed);
-    }
-    void store_x(std::uint32_t node, End e, float v) noexcept {
-        NodeRecord& r = recs_[node];
-        std::atomic_ref<float>(e == End::kStart ? r.sx : r.ex)
-            .store(v, std::memory_order_relaxed);
-    }
-    void store_y(std::uint32_t node, End e, float v) noexcept {
-        NodeRecord& r = recs_[node];
-        std::atomic_ref<float>(e == End::kStart ? r.sy : r.ey)
-            .store(v, std::memory_order_relaxed);
-    }
-
-    Layout snapshot() const {
-        Layout l;
-        l.resize(recs_.size());
-        for (std::size_t i = 0; i < recs_.size(); ++i) {
-            l.start_x[i] = recs_[i].sx;
-            l.start_y[i] = recs_[i].sy;
-            l.end_x[i] = recs_[i].ex;
-            l.end_y[i] = recs_[i].ey;
-        }
-        return l;
-    }
-
-private:
-    std::vector<NodeRecord> recs_;
-};
 
 }  // namespace pgl::core

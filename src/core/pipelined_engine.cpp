@@ -10,8 +10,9 @@
 //       fills its shard's TermBatch for slice N+1 via the staged,
 //       prefetching PairSampler::fill_batch_staged;
 //   consumer (the calling thread)
-//       applies slice N's batches through the shared step_math kernel, in
-//       fixed shard order, while the producers sample ahead.
+//       applies slice N's batches through the configured UpdateKernel
+//       (cfg.kernel: "scalar" or the byte-identical "simd"), in fixed
+//       shard order, while the producers sample ahead.
 //
 // Double buffering means neither side ever waits on a batch the other is
 // touching; the pool's dispatch/wait edges order the hand-off. Because the
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "core/cpu_engine.hpp"
+#include "core/kernels/update_kernel.hpp"
 #include "core/schedule.hpp"
 #include "core/term_batch.hpp"
 #include "core/thread_pool.hpp"
@@ -51,10 +53,9 @@ struct alignas(64) ShardCounter {
     std::uint64_t skipped = 0;
 };
 
-template <typename Store>
 LayoutResult run_pipelined(const graph::LeanGraph& g, const LayoutConfig& cfg,
-                           Store& store, ThreadPool& pool,
-                           const ProgressHook& hook) {
+                           XYStore& store, const UpdateKernel& kern,
+                           ThreadPool& pool, const ProgressHook& hook) {
     LayoutResult result;
     result.eta_schedule = make_eta_schedule(
         cfg.schedule_length(), cfg.eps,
@@ -125,7 +126,7 @@ LayoutResult run_pipelined(const graph::LeanGraph& g, const LayoutConfig& cfg,
             const bool more = s + 1 < n_slices;
             if (more) pool.launch(fill_job(1 - cur, s + 1));
             for (std::uint32_t tid = 0; tid < n_shards; ++tid) {
-                apply_term_batch(bufs[cur][tid], eta, store);
+                kern.apply(bufs[cur][tid], eta, store);
             }
             if (more) pool.wait();
             cur = 1 - cur;
@@ -158,12 +159,12 @@ LayoutResult run_pipelined(const graph::LeanGraph& g, const LayoutConfig& cfg,
 
 class PipelinedLayoutEngine final : public LayoutEngine {
 public:
-    explicit PipelinedLayoutEngine(CoordStore store) : store_(store) {}
-
     std::string_view name() const noexcept override { return "cpu-pipelined"; }
 
 protected:
     void do_init() override {
+        // Resolving the kernel here also validates cfg.kernel up front.
+        kernel_ = make_update_kernel(cfg_.kernel);
         // Always at least one producer: even a single-threaded config
         // overlaps sampling with the consumer's updates. Workers persist
         // across run() calls — nothing is spawned in the iteration loop.
@@ -179,23 +180,19 @@ protected:
         if (has_progress_hook()) {
             hook = [this](const IterationStats& s) { emit_progress(s); };
         }
-        if (store_ == CoordStore::kAoS) {
-            LayoutAoS s(initial, *graph_);
-            return run_pipelined(*graph_, cfg, s, *pool_, hook);
-        }
-        LayoutSoA s(initial);
-        return run_pipelined(*graph_, cfg, s, *pool_, hook);
+        XYStore s(initial);
+        return run_pipelined(*graph_, cfg, s, *kernel_, *pool_, hook);
     }
 
 private:
-    CoordStore store_;
+    std::unique_ptr<const UpdateKernel> kernel_;
     std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace
 
-std::unique_ptr<LayoutEngine> make_pipelined_engine(CoordStore store) {
-    return std::make_unique<PipelinedLayoutEngine>(store);
+std::unique_ptr<LayoutEngine> make_pipelined_engine() {
+    return std::make_unique<PipelinedLayoutEngine>();
 }
 
 }  // namespace pgl::core

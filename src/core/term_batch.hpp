@@ -46,6 +46,7 @@ struct TermBatch {
     bool empty() const noexcept { return d_ref.empty(); }
 
     void clear() noexcept {
+        invalid_ = 0;
         path.clear();
         step_i.clear();
         step_j.clear();
@@ -91,14 +92,18 @@ struct TermBatch {
         d_ref.push_back(t.d_ref);
         nudge.push_back(n);
         valid.push_back(t.valid ? 1 : 0);
+        if (!t.valid) ++invalid_;
         took_cooling.push_back(t.took_cooling ? 1 : 0);
     }
 
     /// Pre-sizes exactly the columns the update kernel reads and empties
-    /// the replay columns — the shape fill_batch_lean writes by index.
+    /// the replay columns — the shape fill_batch_staged writes by index.
     /// Reuses capacity, so a double-buffered pipeline allocates only on its
-    /// first slice.
+    /// first slice. Every slot's validity must subsequently be set exactly
+    /// once through mark_valid()/mark_invalid() so the running invalid
+    /// counter stays exact.
     void resize_apply_only(std::size_t n) {
+        invalid_ = 0;
         node_i.resize(n);
         node_j.resize(n);
         end_i.resize(n);
@@ -117,34 +122,21 @@ struct TermBatch {
     End end_i_of(std::size_t k) const noexcept { return static_cast<End>(end_i[k]); }
     End end_j_of(std::size_t k) const noexcept { return static_cast<End>(end_j[k]); }
 
-    std::uint64_t invalid_count() const noexcept {
-        std::uint64_t n = 0;
-        for (const std::uint8_t v : valid) n += (v == 0);
-        return n;
+    /// Validity writers for the index-filling path (after
+    /// resize_apply_only); append() maintains the counter itself.
+    void mark_valid(std::size_t k) noexcept { valid[k] = 1; }
+    void mark_invalid(std::size_t k) noexcept {
+        valid[k] = 0;
+        ++invalid_;
     }
-};
 
-/// Applies every valid term of a batch to the coordinate store with the
-/// shared step_math kernel — the consumer half of the batched pipeline,
-/// used by the batched CPU workers and the pipelined engine's consumer.
-template <typename Store>
-void apply_term_batch(const TermBatch& b, double eta, Store& store) {
-    for (std::size_t k = 0; k < b.size(); ++k) {
-        if (!b.valid[k]) continue;
-        const End ei = b.end_i_of(k);
-        const End ej = b.end_j_of(k);
-        const float xi = store.load_x(b.node_i[k], ei);
-        const float yi = store.load_y(b.node_i[k], ei);
-        const float xj = store.load_x(b.node_j[k], ej);
-        const float yj = store.load_y(b.node_j[k], ej);
-        const PointDelta d =
-            sgd_term_update(xi, yi, xj, yj, b.d_ref[k], eta, b.nudge[k]);
-        store.store_x(b.node_i[k], ei, xi + d.dx_i);
-        store.store_y(b.node_i[k], ei, yi + d.dy_i);
-        store.store_x(b.node_j[k], ej, xj + d.dx_j);
-        store.store_y(b.node_j[k], ej, yj + d.dy_j);
-    }
-}
+    /// Holes in the batch (valid == 0 slots) — a running counter, not a
+    /// rescan, so per-warp/per-slice consumers may query it for free.
+    std::uint64_t invalid_count() const noexcept { return invalid_; }
+
+private:
+    std::uint64_t invalid_ = 0;
+};
 
 template <typename Rng>
 std::uint64_t PairSampler::fill_batch(bool cooling_iter, Rng& rng, std::size_t n,
@@ -237,7 +229,7 @@ std::uint64_t PairSampler::fill_batch_staged(bool cooling_iter, Rng& rng,
             const std::size_t k = base + b;
             const Staged& st = stage[b];
             if (!st.alive) {
-                out.valid[k] = 0;
+                out.mark_invalid(k);
                 ++skipped;
                 continue;
             }
@@ -252,7 +244,7 @@ std::uint64_t PairSampler::fill_batch_staged(bool cooling_iter, Rng& rng,
             const std::uint64_t d =
                 pos_i > pos_j ? pos_i - pos_j : pos_j - pos_i;
             if (d == 0) {
-                out.valid[k] = 0;
+                out.mark_invalid(k);
                 ++skipped;
                 continue;
             }
@@ -262,7 +254,7 @@ std::uint64_t PairSampler::fill_batch_staged(bool cooling_iter, Rng& rng,
             out.end_j[k] = st.end_j;
             out.d_ref[k] = static_cast<double>(d);
             out.nudge[k] = draw_nudge(rng);
-            out.valid[k] = 1;
+            out.mark_valid(k);
         }
     }
     return skipped;

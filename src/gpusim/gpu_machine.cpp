@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/kernels/update_kernel.hpp"
 #include "core/sampling.hpp"
 #include "core/schedule.hpp"
 #include "core/step_math.hpp"
@@ -146,7 +147,10 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
     rng::Xoshiro256Plus init_rng(cfg.seed ^ 0xa02bdbf7bb3c0a7ULL);
     const core::Layout initial =
         core::make_linear_initial_layout(g, init_rng, cfg.init_jitter);
-    core::LayoutSoA store(initial);  // functional storage (organization-agnostic)
+    core::XYStore store(initial);  // functional storage (organization-agnostic)
+    // The warp's per-step batch drains through the same pluggable update
+    // kernel as the CPU backends (cfg.kernel; validated here).
+    const auto update_kernel = core::make_update_kernel(cfg.kernel);
 
     GpuMemory mem(spec, opt.cache_scale);
 
@@ -206,42 +210,45 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
                                    : sampler.sample(cooling_iter, rng);
                 cooling_lanes += t.took_cooling ? 1 : 0;
                 if (!t.valid) ++c.skipped_terms;
-                // The nudge is drawn from the lane RNG at update time (one
-                // per functional update, like the real kernel), so the
-                // batch slot carries none.
+                // The slot's nudge is predrawn from the lane RNG just
+                // before the batch drains through the update kernel (one
+                // per functional update, like the real kernel).
                 batch.append(t, 0.0);
             }
 
             // --- Functional updates (DRF extra updates reuse warp data) ---
-            for (std::uint32_t r = 0; r < drf; ++r) {
+            // The first round is exactly "apply the warp's batch in lane
+            // order", so it drains through the pluggable update kernel.
+            // Nudges are predrawn per lane — each lane owns its XORWOW
+            // stream, so drawing them before the applies advances every
+            // stream exactly as the per-lane update loop did.
+            for (std::uint32_t l = 0; l < warp_size; ++l) {
+                if (!batch.valid[l]) continue;
+                rng::XorwowRng rng(states[std::uint64_t(warp) * warp_size + l]);
+                batch.nudge[l] = core::draw_nudge(rng);
+            }
+            update_kernel->apply(batch, eta, store);
+            c.lane_updates += warp_size - batch.invalid_count();
+            for (std::uint32_t r = 1; r < drf; ++r) {
                 for (std::uint32_t l = 0; l < warp_size; ++l) {
                     if (!batch.valid[l]) continue;
                     const std::uint32_t ni = batch.node_i[l];
                     const End ei = batch.end_i_of(l);
-                    std::uint32_t nj;
-                    End ej;
-                    double d_ref;
-                    if (r == 0) {
-                        nj = batch.node_j[l];
-                        ej = batch.end_j_of(l);
-                        d_ref = batch.d_ref[l];
-                    } else {
-                        // Warp-shuffle reuse: pair this lane's first node
-                        // with a partner lane's second node. Positions are
-                        // path-relative, so cross-lane d_ref is only
-                        // approximate — the quality cost the Fig. 17 DSE
-                        // measures.
-                        const std::uint32_t p = (l + r * 7) % warp_size;
-                        if (!batch.valid[p]) continue;
-                        nj = batch.node_j[p];
-                        ej = batch.end_j_of(p);
-                        const std::uint64_t d =
-                            batch.pos_i[l] > batch.pos_j[p]
-                                ? batch.pos_i[l] - batch.pos_j[p]
-                                : batch.pos_j[p] - batch.pos_i[l];
-                        if (d == 0) continue;
-                        d_ref = static_cast<double>(d);
-                    }
+                    // Warp-shuffle reuse: pair this lane's first node
+                    // with a partner lane's second node. Positions are
+                    // path-relative, so cross-lane d_ref is only
+                    // approximate — the quality cost the Fig. 17 DSE
+                    // measures.
+                    const std::uint32_t p = (l + r * 7) % warp_size;
+                    if (!batch.valid[p]) continue;
+                    const std::uint32_t nj = batch.node_j[p];
+                    const End ej = batch.end_j_of(p);
+                    const std::uint64_t dd =
+                        batch.pos_i[l] > batch.pos_j[p]
+                            ? batch.pos_i[l] - batch.pos_j[p]
+                            : batch.pos_j[p] - batch.pos_i[l];
+                    if (dd == 0) continue;
+                    const double d_ref = static_cast<double>(dd);
                     const float xi = store.load_x(ni, ei);
                     const float yi = store.load_y(ni, ei);
                     const float xj = store.load_x(nj, ej);
@@ -450,6 +457,12 @@ public:
     std::string_view name() const noexcept override { return name_; }
 
 protected:
+    void do_init() override {
+        // Reject an unknown cfg.kernel at init(), like every other engine;
+        // simulate_gpu_layout re-resolves the (stateless) kernel per run.
+        core::make_update_kernel(cfg_.kernel);
+    }
+
     core::LayoutResult do_run(const core::LayoutConfig& cfg) override {
         SimOptions opt = opt_;
         if (has_progress_hook()) {

@@ -34,17 +34,26 @@ struct Accum {
     }
 };
 
-inline float coord_x(const Layout& l, std::uint32_t node, End e) noexcept {
-    return e == End::kStart ? l.start_x[node] : l.end_x[node];
-}
-inline float coord_y(const Layout& l, std::uint32_t node, End e) noexcept {
-    return e == End::kStart ? l.start_y[node] : l.end_y[node];
-}
+/// Flat read-only view of a layout in the XYStore organization — the same
+/// x[2*node + end] indexing the update kernels write, so metrics read
+/// coordinates exactly the way the engines produced them.
+struct FlatCoords {
+    explicit FlatCoords(const Layout& l) : store(l), x(store.x()), y(store.y()) {}
+
+    // x/y alias the owned store; a default copy would leave them pointing
+    // into the source object.
+    FlatCoords(const FlatCoords&) = delete;
+    FlatCoords& operator=(const FlatCoords&) = delete;
+
+    core::XYStore store;
+    const float* x;
+    const float* y;
+};
 
 /// Stress of one endpoint pair; returns false for degenerate d_ref == 0.
-inline bool endpoint_stress(const LeanGraph& g, const Layout& l, std::uint32_t p,
-                            std::uint32_t si, std::uint32_t sj, End ei, End ej,
-                            double& out) noexcept {
+inline bool endpoint_stress(const LeanGraph& g, const FlatCoords& c,
+                            std::uint32_t p, std::uint32_t si, std::uint32_t sj,
+                            End ei, End ej, double& out) noexcept {
     const std::uint32_t ni = g.step_node(p, si);
     const std::uint32_t nj = g.step_node(p, sj);
     const std::uint64_t pi = core::endpoint_path_position(
@@ -54,8 +63,10 @@ inline bool endpoint_stress(const LeanGraph& g, const Layout& l, std::uint32_t p
     const std::uint64_t d = pi > pj ? pi - pj : pj - pi;
     if (d == 0) return false;
     const double d_ref = static_cast<double>(d);
-    const double dx = static_cast<double>(coord_x(l, ni, ei)) - coord_x(l, nj, ej);
-    const double dy = static_cast<double>(coord_y(l, ni, ei)) - coord_y(l, nj, ej);
+    const std::size_t ii = core::XYStore::index(ni, ei);
+    const std::size_t jj = core::XYStore::index(nj, ej);
+    const double dx = static_cast<double>(c.x[ii]) - c.x[jj];
+    const double dy = static_cast<double>(c.y[ii]) - c.y[jj];
     const double mag = std::sqrt(dx * dx + dy * dy);
     const double residual = (mag - d_ref) / d_ref;
     out = residual * residual;
@@ -64,7 +75,7 @@ inline bool endpoint_stress(const LeanGraph& g, const Layout& l, std::uint32_t p
 
 /// Average stress over the four endpoint combinations of a step pair
 /// (the stress(n_i, n_j) of Eq. 1).
-inline bool pair_stress(const LeanGraph& g, const Layout& l, std::uint32_t p,
+inline bool pair_stress(const LeanGraph& g, const FlatCoords& c, std::uint32_t p,
                         std::uint32_t si, std::uint32_t sj, double& out) noexcept {
     static constexpr End kEnds[2] = {End::kStart, End::kEnd};
     double total = 0.0;
@@ -72,7 +83,7 @@ inline bool pair_stress(const LeanGraph& g, const Layout& l, std::uint32_t p,
     for (End ei : kEnds) {
         for (End ej : kEnds) {
             double s;
-            if (endpoint_stress(g, l, p, si, sj, ei, ej, s)) {
+            if (endpoint_stress(g, c, p, si, sj, ei, ej, s)) {
                 total += s;
                 ++combos;
             }
@@ -108,6 +119,7 @@ void parallel_over_paths(const LeanGraph& g, std::uint32_t threads, Fn&& fn) {
 StressResult path_stress(const graph::LeanGraph& g, const core::Layout& l,
                          std::uint32_t threads) {
     const auto t0 = std::chrono::steady_clock::now();
+    const FlatCoords coords(l);
     std::vector<Accum> per_path(g.path_count());
     parallel_over_paths(g, threads, [&](std::uint32_t p) {
         Accum acc;
@@ -115,7 +127,7 @@ StressResult path_stress(const graph::LeanGraph& g, const core::Layout& l,
         for (std::uint32_t i = 0; i < n; ++i) {
             for (std::uint32_t j = i + 1; j < n; ++j) {
                 double s;
-                if (pair_stress(g, l, p, i, j, s)) acc.add(s);
+                if (pair_stress(g, coords, p, i, j, s)) acc.add(s);
             }
         }
         per_path[p] = acc;
@@ -136,6 +148,7 @@ StressResult sampled_path_stress(const graph::LeanGraph& g, const core::Layout& 
                                  double samples_per_step, std::uint64_t seed,
                                  std::uint32_t threads) {
     const auto t0 = std::chrono::steady_clock::now();
+    const FlatCoords coords(l);
     std::vector<Accum> per_path(g.path_count());
     parallel_over_paths(g, threads, [&](std::uint32_t p) {
         rng::Xoshiro256Plus rng(seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
@@ -152,7 +165,7 @@ StressResult sampled_path_stress(const graph::LeanGraph& g, const core::Layout& 
             const End ei = kEnds[rng.flip_coin()];
             const End ej = kEnds[rng.flip_coin()];
             double v;
-            if (endpoint_stress(g, l, p, i, j, ei, ej, v)) acc.add(v);
+            if (endpoint_stress(g, coords, p, i, j, ei, ej, v)) acc.add(v);
         }
         per_path[p] = acc;
     });

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/kernels/update_kernel.hpp"
 #include "core/thread_pool.hpp"
 #include "rng/splitmix64.hpp"
 #include "rng/xoshiro256.hpp"
@@ -43,6 +44,11 @@ std::vector<core::LayoutResult> ComponentScheduler::run(
     const Decomposition& d) const {
     if (!core::EngineRegistry::instance().contains(opt_.backend)) {
         throw std::invalid_argument("unknown partition backend: " + opt_.backend);
+    }
+    // Fail before any component runs, not from inside a worker thread.
+    if (!core::KernelRegistry::instance().contains(opt_.config.kernel)) {
+        throw std::invalid_argument("unknown update kernel: " +
+                                    opt_.config.kernel);
     }
     const std::uint32_t n = d.count();
     std::vector<core::LayoutResult> results(n);

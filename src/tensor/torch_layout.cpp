@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/kernels/update_kernel.hpp"
 #include "core/sampling.hpp"
 #include "core/schedule.hpp"
 #include "core/term_batch.hpp"
@@ -14,10 +15,11 @@ namespace {
 
 using core::End;
 
-/// Flat coordinate index of a node endpoint in the [sx0, ex0, sx1, ...]
-/// coordinate tensors.
+/// Flat coordinate index of a node endpoint in the coordinate tensors —
+/// the tensors use the shared XYStore layout ([sx0, ex0, sx1, ...]), so
+/// the scatter indices are exactly the kernel layer's store indices.
 std::uint32_t coord_index(std::uint32_t node, End e) {
-    return 2 * node + static_cast<std::uint32_t>(e);
+    return static_cast<std::uint32_t>(core::XYStore::index(node, e));
 }
 
 }  // namespace
@@ -42,15 +44,14 @@ TorchLayoutResult layout_torch(const graph::LeanGraph& g,
     const core::Layout initial =
         core::make_linear_initial_layout(g, init_rng, cfg.init_jitter);
 
-    // Coordinates live in two flat tensors ("the adjustable weights").
+    // Coordinates live in two flat tensors ("the adjustable weights"),
+    // initialized from — and finally written back into — an XYStore, so
+    // the gather/scatter index space is the same flat x/y layout every
+    // other backend's kernels consume.
     const std::size_t n = initial.size();
-    Tensor X(2 * n), Y(2 * n);
-    for (std::size_t i = 0; i < n; ++i) {
-        X[2 * i] = initial.start_x[i];
-        X[2 * i + 1] = initial.end_x[i];
-        Y[2 * i] = initial.start_y[i];
-        Y[2 * i + 1] = initial.end_y[i];
-    }
+    core::XYStore store(initial);
+    Tensor X(std::vector<float>(store.x(), store.x() + store.coord_count()));
+    Tensor Y(std::vector<float>(store.y(), store.y() + store.coord_count()));
 
     rng::Xoshiro256Plus rng(cfg.seed);
     const std::uint64_t steps_per_iter = cfg.steps_per_iteration(g.total_path_steps());
@@ -138,13 +139,11 @@ TorchLayoutResult layout_torch(const graph::LeanGraph& g,
     out.skipped = total_skipped;
     out.eta_schedule = etas;
 
-    out.layout.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        out.layout.start_x[i] = X[2 * i];
-        out.layout.end_x[i] = X[2 * i + 1];
-        out.layout.start_y[i] = Y[2 * i];
-        out.layout.end_y[i] = Y[2 * i + 1];
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+        store.x()[i] = X[i];
+        store.y()[i] = Y[i];
     }
+    out.layout = store.snapshot();
     out.kernel_launches = prof.total_launches();
     out.kernel_seconds = prof.kernel_seconds();
     out.api_seconds = prof.api_seconds() +
@@ -165,6 +164,14 @@ public:
     std::string_view name() const noexcept override { return "torch"; }
 
 protected:
+    void do_init() override {
+        // The tensor path models its own gather/scatter kernels and never
+        // drains a batch through an UpdateKernel, but it honors the
+        // engine-wide contract of rejecting an unknown cfg.kernel at
+        // init().
+        core::make_update_kernel(cfg_.kernel);
+    }
+
     core::LayoutResult do_run(const core::LayoutConfig& cfg) override {
         core::ProgressHook hook;
         if (has_progress_hook()) {

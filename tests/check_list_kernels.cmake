@@ -1,0 +1,47 @@
+# Asserts the `pgl_layout --list-kernels` contract that CI's kernel smoke
+# loop depends on (mirroring check_list_backends.cmake): exit status 0,
+# every registered update-kernel name on stdout — exactly one per line,
+# nothing else — so that `for kernel in $(pgl_layout --list-kernels)`
+# iterates real names.
+#
+# Run as: cmake -DTOOL=<path-to-pgl_layout> -P check_list_kernels.cmake
+
+if(NOT TOOL)
+  message(FATAL_ERROR "pass -DTOOL=<path to pgl_layout>")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} --list-kernels
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--list-kernels exited ${rc} (expected 0)")
+endif()
+if(NOT err STREQUAL "")
+  message(FATAL_ERROR "--list-kernels wrote to stderr: [${err}]")
+endif()
+
+string(REGEX REPLACE "\n$" "" trimmed "${out}")
+if(trimmed STREQUAL "")
+  message(FATAL_ERROR "--list-kernels printed nothing")
+endif()
+string(REPLACE "\n" ";" lines "${trimmed}")
+
+foreach(line IN LISTS lines)
+  if(NOT line MATCHES "^[a-z0-9][a-z0-9-]*$")
+    message(FATAL_ERROR "non-name output line: [${line}]")
+  endif()
+endforeach()
+
+# Every built-in kernel must be listed.
+foreach(required scalar simd)
+  list(FIND lines ${required} idx)
+  if(idx EQUAL -1)
+    message(FATAL_ERROR "built-in kernel missing from listing: ${required}")
+  endif()
+endforeach()
+
+list(LENGTH lines n)
+message(STATUS "--list-kernels contract OK (${n} kernels)")

@@ -321,28 +321,27 @@ TEST(LayoutStores, SnapshotRoundTrip) {
     const auto g = small_graph(40, 2);
     rng::Xoshiro256Plus rng(5);
     const auto l = core::make_linear_initial_layout(g, rng);
-    core::LayoutSoA soa(l);
-    core::LayoutAoS aos(l, g);
-    const auto s1 = soa.snapshot();
-    const auto s2 = aos.snapshot();
+    core::XYStore store(l);
+    const auto s = store.snapshot();
     for (std::size_t i = 0; i < l.size(); ++i) {
-        EXPECT_EQ(s1.start_x[i], l.start_x[i]);
-        EXPECT_EQ(s2.start_x[i], l.start_x[i]);
-        EXPECT_EQ(s1.end_y[i], l.end_y[i]);
-        EXPECT_EQ(s2.end_y[i], l.end_y[i]);
+        EXPECT_EQ(s.start_x[i], l.start_x[i]);
+        EXPECT_EQ(s.end_y[i], l.end_y[i]);
     }
 }
 
-TEST(LayoutStores, AtomicAccessorsReadBackStores) {
+TEST(LayoutStores, AtomicAccessorsAliasTheRawArrays) {
     const auto g = small_graph(10, 1);
     rng::Xoshiro256Plus rng(6);
     const auto l = core::make_linear_initial_layout(g, rng);
-    core::LayoutSoA soa(l);
-    soa.store_x(3, End::kEnd, 42.5f);
-    EXPECT_FLOAT_EQ(soa.load_x(3, End::kEnd), 42.5f);
-    core::LayoutAoS aos(l, g);
-    aos.store_y(2, End::kStart, -7.25f);
-    EXPECT_FLOAT_EQ(aos.load_y(2, End::kStart), -7.25f);
+    core::XYStore store(l);
+    ASSERT_EQ(store.coord_count(), 2 * l.size());
+    store.store_x(3, End::kEnd, 42.5f);
+    EXPECT_FLOAT_EQ(store.load_x(3, End::kEnd), 42.5f);
+    // The atomic accessors and the kernels' raw pointers address the same
+    // floats through the same 2*node + end indexing.
+    EXPECT_FLOAT_EQ(store.x()[core::XYStore::index(3, End::kEnd)], 42.5f);
+    store.y()[core::XYStore::index(2, End::kStart)] = -7.25f;
+    EXPECT_FLOAT_EQ(store.load_y(2, End::kStart), -7.25f);
 }
 
 }  // namespace

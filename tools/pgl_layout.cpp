@@ -5,12 +5,12 @@
 // by name, while `--gpu` / `--cdl` remain as familiar aliases.
 //
 //   pgl-layout -i graph.gfa|graph.pgg -o graph.lay
-//              [--backend NAME | --gpu[=a6000|a100]]
+//              [--backend NAME | --gpu[=a6000|a100]] [--kernel NAME]
 //              [--iters N] [--factor F] [--threads N] [--seed N]
 //              [--save-graph FILE.pgg] [--load-graph FILE.pgg]
 //              [--partition] [--component-workers N] [--per-component-out DIR]
 //              [--svg out.svg] [--ppm out.ppm] [--stress] [--cdl]
-//              [--progress] [--timing] [--list-backends]
+//              [--progress] [--timing] [--list-backends] [--list-kernels]
 //
 // Ingestion streams GFA 1.0/1.1 (S/L/P/W records, CRLF tolerant) directly
 // into the engine-ready LeanGraph — the rich VariationGraph is never
@@ -36,6 +36,7 @@
 
 #include "core/cpu_engine.hpp"
 #include "core/engine.hpp"
+#include "core/kernels/update_kernel.hpp"
 #include "draw/ppm.hpp"
 #include "draw/svg.hpp"
 #include "gpusim/gpu_machine.hpp"
@@ -53,6 +54,8 @@ void usage(const char* argv0) {
     std::cerr
         << "usage: " << argv0 << " -i graph.gfa|graph.pgg -o layout.lay [options]\n"
         << "  --backend NAME      run a registered engine (see --list-backends)\n"
+        << "  --kernel NAME       update kernel for batch-applying engines\n"
+        << "                      (see --list-kernels; default scalar)\n"
         << "  --gpu[=a6000|a100]  alias for the optimized simulated GPU\n"
         << "  --cdl               alias for cpu-aos (cache-friendly store)\n"
         << "  --iters N           SGD iterations (default 30)\n"
@@ -72,7 +75,8 @@ void usage(const char* argv0) {
         << "  --progress          print per-iteration (or, with --partition,\n"
         << "                      per-component) progress to stderr\n"
         << "  --timing            print a per-stage wall-clock summary to stderr\n"
-        << "  --list-backends     list registered engines and exit\n";
+        << "  --list-backends     list registered engines and exit\n"
+        << "  --list-kernels      list registered update kernels and exit\n";
 }
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
@@ -127,13 +131,20 @@ int main(int argc, char** argv) {
     std::uint32_t component_workers = 1;
     core::LayoutConfig cfg;
 
-    // CI's smoke loop consumes `--list-backends` output verbatim (`for
-    // backend in $(pgl_layout --list-backends)`), so the contract is strict:
-    // exit 0, one registered name per line on stdout, nothing else. Handle
-    // it before any other parsing so no other flag can corrupt the listing.
+    // CI's smoke loops consume the `--list-backends` / `--list-kernels`
+    // output verbatim (`for x in $(pgl_layout --list-...)`), so the contract
+    // is strict: exit 0, one registered name per line on stdout, nothing
+    // else. Handle them before any other parsing so no other flag can
+    // corrupt the listing.
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--list-backends") {
             for (const auto& n : core::EngineRegistry::instance().names()) {
+                std::cout << n << "\n";
+            }
+            return 0;
+        }
+        if (std::string(argv[i]) == "--list-kernels") {
+            for (const auto& n : core::KernelRegistry::instance().names()) {
                 std::cout << n << "\n";
             }
             return 0;
@@ -171,6 +182,8 @@ int main(int argc, char** argv) {
         } else if (arg == "--cdl") {
             backend = "cpu-aos";
             gpu_name.clear();
+        } else if (arg == "--kernel") {
+            cfg.kernel = next();
         } else if (arg == "--iters") {
             cfg.iter_max = parse_int_or_die<std::uint32_t>(arg, next());
         } else if (arg == "--factor") {
@@ -230,6 +243,14 @@ int main(int argc, char** argv) {
         return 2;
     }
     if (backend.empty()) backend = "cpu-soa";
+    if (!core::KernelRegistry::instance().contains(cfg.kernel)) {
+        std::cerr << "unknown update kernel \"" << cfg.kernel << "\"; available:";
+        for (const auto& n : core::KernelRegistry::instance().names()) {
+            std::cerr << " " << n;
+        }
+        std::cerr << "\n";
+        return 2;
+    }
     if (partition_run && gpu_name == "a100") {
         // The a100 variant is constructed with a non-default machine spec,
         // not through the registry the scheduler draws engines from.
