@@ -170,8 +170,21 @@ void JsonReporter::write() {
            << json_escape(r.backend) << "\", \"scale\": " << r.scale
            << ", \"iters\": " << r.iters << ", \"threads\": " << r.threads
            << ", \"seconds\": " << r.seconds
-           << ", \"updates_per_sec\": " << r.updates_per_sec << "}"
-           << (i + 1 < records_.size() ? "," : "") << "\n";
+           << ", \"updates_per_sec\": " << r.updates_per_sec;
+        if (!r.direction.empty()) {
+            os << ", \"value\": " << r.value << ", \"direction\": \""
+               << json_escape(r.direction) << "\"";
+        }
+        if (!r.stages.empty()) {
+            os << ", \"stages\": {";
+            for (std::size_t s = 0; s < r.stages.size(); ++s) {
+                os << "\"" << json_escape(r.stages[s].first)
+                   << "\": " << r.stages[s].second
+                   << (s + 1 < r.stages.size() ? ", " : "");
+            }
+            os << "}";
+        }
+        os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     os << "]\n";
     os.flush();

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -47,6 +48,19 @@ struct BenchRecord {
     std::uint32_t threads = 0;
     double seconds = 0.0;
     double updates_per_sec = 0.0;
+
+    /// Optional gated metric. When `direction` is non-empty the record
+    /// emits {"value": ..., "direction": "lower"|"higher"} and
+    /// check_regression.py gates `value` with that polarity instead of
+    /// updates_per_sec (lower-is-better: fail when current exceeds
+    /// baseline * (1 + tolerance)).
+    double value = 0.0;
+    std::string direction;
+
+    /// Optional per-stage wall-clock breakdown, emitted as
+    /// {"stages": {"coarsen": ..., ...}} when non-empty. Purely
+    /// informational — the gate never reads it.
+    std::vector<std::pair<std::string, double>> stages;
 };
 
 /// Builds the record for one engine run under the bench's options.

@@ -3,29 +3,43 @@
 
 Usage:
     check_regression.py BASELINE.json CURRENT.json [--tolerance 0.30]
+    check_regression.py --self-test
 
 Both files hold arrays of records emitted by a bench's --json flag:
     {"bench": ..., "backend": ..., "scale": ..., "iters": ...,
      "threads": ..., "seconds": ..., "updates_per_sec": ...}
 
-A record pair is matched on (bench, backend, threads). The gate fails
-(exit 1) when any matched backend's updates_per_sec drops more than
---tolerance (default 30%) below the committed baseline. Backends present
+Records may carry two optional fields that change how they are gated:
+
+    "value":      the gated metric. When absent, updates_per_sec is gated
+                  (the historical throughput contract).
+    "direction":  "higher" (default) or "lower". Higher-is-better metrics
+                  (throughput) fail when the current value drops more than
+                  --tolerance below baseline; lower-is-better metrics
+                  (latency, time-to-quality ratios) fail when the current
+                  value rises more than --tolerance above baseline.
+
+A record pair is matched on (bench, backend, threads). Backends present
 on only one side are reported but never fail the gate, so registering a
 new engine does not require touching the baseline in the same commit —
 the next baseline refresh picks it up.
 
---normalize BACKEND divides every updates_per_sec by that backend's
-throughput on its own side before comparing, turning the gate into a
+--normalize BACKEND divides every higher-is-better metric by that
+backend's value on its own side before comparing, turning the gate into a
 relative one. Use it when baseline and current runs come from different
-machine classes (a slower host then cancels out); the plain absolute gate
-is right when both sides run on comparable hardware, which is why CI
-refreshes bench/baseline.json from its own runners' artifacts.
+machine classes (a slower host then cancels out). Lower-is-better records
+are never normalized: the ones this repo emits (multilevel time-to-quality)
+are already ratios of two same-machine runs, so machine speed cancels by
+construction.
 
 Refresh the baseline with:
     ./build/bench_backends --quick --json bench/baseline.json
 (or download BENCH_pr.json from a trusted main build's bench-smoke job so
 the committed numbers reflect the CI runner class).
+
+--self-test runs the gate logic against synthetic in-memory records and
+exits nonzero on any contract violation; CI runs it before trusting the
+gate with real numbers.
 """
 
 import argparse
@@ -33,71 +47,190 @@ import json
 import sys
 
 
-def load(path, normalize=None):
-    with open(path) as fh:
-        records = json.load(fh)
-    if not isinstance(records, list):
-        sys.exit(f"{path}: expected a JSON array of bench records")
+def metric(rec):
+    """The gated value of a record: explicit "value" or updates_per_sec."""
+    return rec["value"] if "value" in rec else rec["updates_per_sec"]
+
+
+def direction(rec):
+    d = rec.get("direction", "higher")
+    if d not in ("higher", "lower"):
+        sys.exit(f"record {rec.get('bench')}/{rec.get('backend')}: "
+                 f"bad direction {d!r} (want 'higher' or 'lower')")
+    return d
+
+
+def to_table(records, path):
     table = {}
     for rec in records:
         key = (rec["bench"], rec["backend"], rec["threads"])
         if key in table:
             sys.exit(f"{path}: duplicate record for {key}")
         table[key] = rec
+    return table
+
+
+def load(path, normalize=None):
+    with open(path) as fh:
+        records = json.load(fh)
+    if not isinstance(records, list):
+        sys.exit(f"{path}: expected a JSON array of bench records")
+    table = to_table(records, path)
     if normalize is not None:
-        anchors = [r["updates_per_sec"] for r in table.values()
-                   if r["backend"] == normalize]
+        anchors = [metric(r) for r in table.values()
+                   if r["backend"] == normalize and direction(r) == "higher"]
         if not anchors or anchors[0] <= 0:
             sys.exit(f"{path}: no usable --normalize backend {normalize!r}")
         for rec in table.values():
-            rec["updates_per_sec"] /= anchors[0]
+            if direction(rec) == "higher":
+                rec["value"] = metric(rec) / anchors[0]
     return table
+
+
+def compare(baseline, current, tolerance):
+    """Returns (rows, failures). Each row is a display tuple; each failure
+    is (name, base, cur, ratio, direction)."""
+    rows, failures = [], []
+    for key in sorted(baseline):
+        name = f"{key[0]}/{key[1]}@{key[2]}"
+        if key not in current:
+            rows.append((name, None, None, None, "missing"))
+            continue
+        brec, crec = baseline[key], current[key]
+        base, cur = metric(brec), metric(crec)
+        dirn = direction(brec)
+        if direction(crec) != dirn:
+            sys.exit(f"{name}: direction mismatch between baseline ({dirn}) "
+                     f"and current ({direction(crec)})")
+        ratio = cur / base if base > 0 else float("inf")
+        bad = (base > 0 and cur < base * (1.0 - tolerance)) \
+            if dirn == "higher" else (cur > base * (1.0 + tolerance))
+        rows.append((name, base, cur, ratio, "FAIL" if bad else dirn))
+        if bad:
+            failures.append((name, base, cur, ratio, dirn))
+    for key in sorted(set(current) - set(baseline)):
+        rows.append((f"{key[0]}/{key[1]}@{key[2]}", None, None, None, "new"))
+    return rows, failures
+
+
+def run_gate(args):
+    baseline = load(args.baseline, args.normalize)
+    current = load(args.current, args.normalize)
+    rows, failures = compare(baseline, current, args.tolerance)
+
+    print(f"{'bench/backend@threads':40s} {'baseline':>14s} "
+          f"{'current':>14s} {'ratio':>7s}  dir")
+    for name, base, cur, ratio, tag in rows:
+        if tag == "missing":
+            print(f"{name:40s} {'(missing in current run — skipped)':>37s}")
+        elif tag == "new":
+            print(f"{name:40s} {'(new — no baseline, skipped)':>37s}")
+        else:
+            flag = "  << REGRESSION" if tag == "FAIL" else ""
+            dirn = "lower" if tag == "lower" or (tag == "FAIL" and cur > base) \
+                else "higher"
+            print(f"{name:40s} {base:14.3e} {cur:14.3e} {ratio:7.2f}  "
+                  f"{dirn}{flag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} record(s) regressed more than "
+              f"{args.tolerance:.0%} vs {args.baseline}:")
+        for name, base, cur, ratio, dirn in failures:
+            print(f"  {name} ({dirn} is better): {base:.3e} -> {cur:.3e} "
+                  f"({ratio:.2f}x)")
+        return 1
+    print(f"\nOK: no record regressed more than {args.tolerance:.0%}")
+    return 0
+
+
+def self_test():
+    def rec(bench, backend, ups=None, value=None, dirn=None, threads=1):
+        r = {"bench": bench, "backend": backend, "threads": threads,
+             "scale": 0.001, "iters": 4, "seconds": 1.0}
+        if ups is not None:
+            r["updates_per_sec"] = ups
+        if value is not None:
+            r["value"] = value
+        if dirn is not None:
+            r["direction"] = dirn
+        return r
+
+    checks = []
+
+    def expect(label, cond):
+        checks.append((label, cond))
+        print(f"  {'ok ' if cond else 'FAIL'} {label}")
+
+    # 1. throughput drop beyond tolerance fails
+    base = to_table([rec("b", "x", ups=100.0)], "base")
+    cur = to_table([rec("b", "x", ups=60.0)], "cur")
+    _, fails = compare(base, cur, 0.30)
+    expect("throughput drop > tol fails", len(fails) == 1)
+
+    # 2. throughput drop within tolerance passes
+    cur = to_table([rec("b", "x", ups=80.0)], "cur")
+    _, fails = compare(base, cur, 0.30)
+    expect("throughput drop < tol passes", not fails)
+
+    # 3. lower-is-better rise beyond tolerance fails
+    base = to_table([rec("b", "ttq", value=0.5, dirn="lower")], "base")
+    cur = to_table([rec("b", "ttq", value=0.7, dirn="lower")], "cur")
+    _, fails = compare(base, cur, 0.30)
+    expect("lower-metric rise > tol fails", len(fails) == 1)
+
+    # 4. lower-is-better improvement (drop) passes however large
+    cur = to_table([rec("b", "ttq", value=0.1, dirn="lower")], "cur")
+    _, fails = compare(base, cur, 0.30)
+    expect("lower-metric drop passes", not fails)
+
+    # 5. lower-is-better rise within tolerance passes
+    cur = to_table([rec("b", "ttq", value=0.55, dirn="lower")], "cur")
+    _, fails = compare(base, cur, 0.30)
+    expect("lower-metric rise < tol passes", not fails)
+
+    # 6. "value" takes precedence over updates_per_sec
+    base = to_table([rec("b", "x", ups=100.0, value=10.0)], "base")
+    cur = to_table([rec("b", "x", ups=100.0, value=1.0)], "cur")
+    _, fails = compare(base, cur, 0.30)
+    expect("explicit value field is gated", len(fails) == 1)
+
+    # 7. records on one side only are reported, never gated
+    base = to_table([rec("b", "only-base", ups=1.0)], "base")
+    cur = to_table([rec("b", "only-cur", ups=1.0)], "cur")
+    rows, fails = compare(base, cur, 0.30)
+    expect("one-sided records skip the gate",
+           not fails and {t for *_, t in rows} == {"missing", "new"})
+
+    bad = [label for label, ok in checks if not ok]
+    if bad:
+        print(f"\nSELF-TEST FAIL: {len(bad)} check(s): {', '.join(bad)}")
+        return 1
+    print(f"\nSELF-TEST OK: {len(checks)} checks passed")
+    return 0
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed fractional drop in updates_per_sec "
-                             "(default 0.30)")
+                        help="allowed fractional regression of the gated "
+                             "metric (default 0.30)")
     parser.add_argument("--normalize", metavar="BACKEND", default=None,
-                        help="compare throughputs relative to this backend's "
-                             "on each side (cancels machine-speed skew)")
+                        help="compare higher-is-better metrics relative to "
+                             "this backend's on each side (cancels "
+                             "machine-speed skew)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate logic against synthetic records "
+                             "and exit")
     args = parser.parse_args()
 
-    baseline = load(args.baseline, args.normalize)
-    current = load(args.current, args.normalize)
-
-    failures = []
-    print(f"{'bench/backend@threads':40s} {'baseline u/s':>14s} "
-          f"{'current u/s':>14s} {'ratio':>7s}")
-    for key in sorted(baseline):
-        name = f"{key[0]}/{key[1]}@{key[2]}"
-        if key not in current:
-            print(f"{name:40s} {'(missing in current run — skipped)':>37s}")
-            continue
-        base = baseline[key]["updates_per_sec"]
-        cur = current[key]["updates_per_sec"]
-        ratio = cur / base if base > 0 else float("inf")
-        flag = ""
-        if base > 0 and cur < base * (1.0 - args.tolerance):
-            failures.append((name, base, cur, ratio))
-            flag = "  << REGRESSION"
-        print(f"{name:40s} {base:14.3e} {cur:14.3e} {ratio:7.2f}{flag}")
-    for key in sorted(set(current) - set(baseline)):
-        print(f"{key[0]}/{key[1]}@{key[2]:<6} "
-              f"{'(new — no baseline, skipped)':>37s}")
-
-    if failures:
-        print(f"\nFAIL: {len(failures)} backend(s) regressed more than "
-              f"{args.tolerance:.0%} vs {args.baseline}:")
-        for name, base, cur, ratio in failures:
-            print(f"  {name}: {base:.3e} -> {cur:.3e} updates/sec "
-                  f"({ratio:.2f}x)")
-        return 1
-    print(f"\nOK: no backend regressed more than {args.tolerance:.0%}")
-    return 0
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("baseline and current files are required "
+                     "(or use --self-test)")
+    return run_gate(args)
 
 
 if __name__ == "__main__":

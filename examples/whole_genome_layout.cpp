@@ -4,9 +4,14 @@
 // component decomposition, one engine per component scheduled largest-first,
 // shelf-stitched canvas — and renders the result.
 //
-//   ./whole_genome_layout [out_dir] [n_components] [scale] [backend]
+//   ./whole_genome_layout [out_dir] [n_components] [scale] [backend] [sub]
 //
-// The written GFA is the input CI feeds to `pgl_layout --partition`.
+// `sub` > 1 regenerates the same genome at `sub` times finer node
+// segmentation (with_finer_segmentation) — the bp-resolution form whose
+// run redundancy the multilevel coarsener collapses.
+//
+// The written GFA is the input CI feeds to `pgl_layout --partition` and
+// the multilevel smoke comparison.
 #include <iostream>
 #include <string>
 
@@ -24,8 +29,13 @@ int main(int argc, char** argv) {
         argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
     const double scale = argc > 3 ? std::atof(argv[3]) : 0.0005;
     const std::string backend = argc > 4 ? argv[4] : "cpu-batched";
+    const std::uint32_t sub =
+        argc > 5 ? static_cast<std::uint32_t>(std::atoi(argv[5])) : 1;
 
-    const auto specs = workloads::whole_genome_spec(n_components, scale, 0xC0DE);
+    auto specs = workloads::whole_genome_spec(n_components, scale, 0xC0DE);
+    if (sub > 1) {
+        for (auto& s : specs) s = workloads::with_finer_segmentation(s, sub);
+    }
     const auto vg = workloads::generate_whole_genome(specs);
     std::cout << "genome: " << vg.node_count() << " nodes, " << vg.edge_count()
               << " edges, " << vg.path_count() << " paths in " << n_components

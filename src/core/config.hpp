@@ -4,9 +4,12 @@
 // in the second half, N_steps = 10 x (sum of path step counts) per
 // iteration.
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace pgl::core {
+
+struct Layout;  // core/layout.hpp
 
 struct LayoutConfig {
     /// Total SGD iterations (N_iters in Alg. 1); odgi default is 30.
@@ -24,6 +27,13 @@ struct LayoutConfig {
 
     /// Final learning rate of the annealing schedule.
     double eps = 0.01;
+
+    /// Explicit annealing ceiling. 0 (the default) derives eta_max from the
+    /// graph as max_dref^2; a positive value restarts the schedule at that
+    /// temperature instead — how a multilevel refinement pass resumes the
+    /// anneal where the flat schedule would have been, rather than from the
+    /// top. Clamped so eps <= eta_max (see core::make_eta_schedule).
+    double eta_max = 0.0;
 
     /// Fraction of iterations after which every step takes the cooling
     /// (Zipf-local) branch; before that the branch is a coin flip
@@ -51,6 +61,13 @@ struct LayoutConfig {
     /// byte-identical). Engines resolve — and validate — the name at
     /// init().
     std::string kernel = "scalar";
+
+    /// Warm start: when set, engines begin from this layout instead of the
+    /// linear initial layout (it must hold exactly node_count() segments —
+    /// engines throw otherwise). Shared, never mutated: a multilevel
+    /// refinement pass hands every engine the interpolated positions this
+    /// way.
+    std::shared_ptr<const Layout> initial_layout;
 
     std::uint32_t schedule_length() const noexcept {
         return schedule_iter_max ? schedule_iter_max : iter_max;

@@ -16,9 +16,12 @@
 // XYStore.
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
+#include "core/config.hpp"
 #include "graph/lean_graph.hpp"
+#include "rng/xoshiro256.hpp"
 
 namespace pgl::core {
 
@@ -61,6 +64,28 @@ Layout make_linear_initial_layout(const graph::LeanGraph& g, Rng& rng,
         l.end_y[i] = static_cast<float>((rng.next_double() - 0.5) * jitter);
     }
     return l;
+}
+
+/// The layout an engine starts a run from: cfg.initial_layout when set (a
+/// warm start — validated against the graph's node count), otherwise the
+/// seeded linear initial layout. Every backend goes through this one
+/// function so a warm-started refinement pass means the same thing on all
+/// of them, and the init-jitter RNG stream stays identical to the
+/// historical per-engine code (seed XOR'd with a fixed salt).
+inline Layout make_initial_layout(const graph::LeanGraph& g,
+                                  const LayoutConfig& cfg) {
+    if (cfg.initial_layout) {
+        if (cfg.initial_layout->size() != g.node_count()) {
+            throw std::invalid_argument(
+                "LayoutConfig::initial_layout holds " +
+                std::to_string(cfg.initial_layout->size()) +
+                " segments for a graph of " + std::to_string(g.node_count()) +
+                " nodes");
+        }
+        return *cfg.initial_layout;
+    }
+    rng::Xoshiro256Plus init_rng(cfg.seed ^ 0xa02bdbf7bb3c0a7ULL);
+    return make_linear_initial_layout(g, init_rng, cfg.init_jitter);
 }
 
 /// The shared flat SoA coordinate store. X layout matches the paper:

@@ -57,9 +57,8 @@ LayoutResult run_pipelined(const graph::LeanGraph& g, const LayoutConfig& cfg,
                            XYStore& store, const UpdateKernel& kern,
                            ThreadPool& pool, const ProgressHook& hook) {
     LayoutResult result;
-    result.eta_schedule = make_eta_schedule(
-        cfg.schedule_length(), cfg.eps,
-        static_cast<double>(g.max_path_nuc_length()));
+    result.eta_schedule = make_engine_schedule(
+        cfg, static_cast<double>(g.max_path_nuc_length()));
 
     const PairSampler sampler(g, cfg);
     const std::uint64_t n_steps = cfg.steps_per_iteration(g.total_path_steps());
@@ -173,9 +172,7 @@ protected:
     }
 
     LayoutResult do_run(const LayoutConfig& cfg) override {
-        rng::Xoshiro256Plus init_rng(cfg.seed ^ 0xa02bdbf7bb3c0a7ULL);
-        const Layout initial =
-            make_linear_initial_layout(*graph_, init_rng, cfg.init_jitter);
+        const Layout initial = make_initial_layout(*graph_, cfg);
         ProgressHook hook;
         if (has_progress_hook()) {
             hook = [this](const IterationStats& s) { emit_progress(s); };

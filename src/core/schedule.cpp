@@ -5,27 +5,42 @@
 
 namespace pgl::core {
 
-std::vector<double> make_eta_schedule(std::uint32_t iter_max, double eps,
-                                      double max_dref) {
+std::vector<double> make_eta_schedule(double eta_max, double eta_min,
+                                      std::uint32_t iter_max) {
     std::vector<double> etas;
     if (iter_max == 0) return etas;
     etas.reserve(iter_max);
-    const double d = std::max(1.0, max_dref);
-    const double eta_max = d * d;
-    // Clamp eta_min into (0, eta_max]: on tiny graphs (max_dref = 1) a
-    // default eps above eta_max would make lambda negative and the schedule
-    // *grow* over iterations instead of annealing.
-    const double eta_min = std::min(std::max(eps, 1e-30), eta_max);
+    const double emax = std::max(eta_max, 1e-30);
+    // Clamp eta_min into (0, eta_max]: an eta_min above eta_max would make
+    // lambda negative and the schedule *grow* over iterations instead of
+    // annealing.
+    const double emin = std::min(std::max(eta_min, 1e-30), emax);
     if (iter_max == 1) {
-        etas.push_back(eta_max);
+        etas.push_back(emax);
         return etas;
     }
     const double lambda =
-        std::log(eta_max / eta_min) / static_cast<double>(iter_max - 1);
+        std::log(emax / emin) / static_cast<double>(iter_max - 1);
     for (std::uint32_t i = 0; i < iter_max; ++i) {
-        etas.push_back(eta_max * std::exp(-lambda * static_cast<double>(i)));
+        etas.push_back(emax * std::exp(-lambda * static_cast<double>(i)));
     }
     return etas;
+}
+
+std::vector<double> make_eta_schedule(std::uint32_t iter_max, double eps,
+                                      double max_dref) {
+    // Term weights are w = 1/d^2, so the schedule tops out where the
+    // weakest (longest-range) term still moves in one step.
+    const double d = std::max(1.0, max_dref);
+    return make_eta_schedule(d * d, eps, iter_max);
+}
+
+std::vector<double> make_engine_schedule(const LayoutConfig& cfg,
+                                         double max_dref) {
+    if (cfg.eta_max > 0.0) {
+        return make_eta_schedule(cfg.eta_max, cfg.eps, cfg.schedule_length());
+    }
+    return make_eta_schedule(cfg.schedule_length(), cfg.eps, max_dref);
 }
 
 }  // namespace pgl::core

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/config.hpp"
+
 namespace pgl::core {
 
 /// Builds the per-iteration learning-rate table.
@@ -13,5 +15,21 @@ namespace pgl::core {
 /// nucleotide length); term weights are w = 1/d^2, so eta_max = max_dref^2.
 std::vector<double> make_eta_schedule(std::uint32_t iter_max, double eps,
                                       double max_dref);
+
+/// Explicit-temperature overload: decays from `eta_max` down to `eta_min`
+/// over `iter_max` iterations, with the same eta_min <= eta_max clamp as the
+/// graph-derived overload. This is how a refinement pass restarts annealing
+/// at a low temperature instead of re-annealing from max_dref^2: the refine
+/// schedule with eta_max = flat_schedule[I - R] reproduces the last R
+/// entries of the I-iteration flat schedule.
+std::vector<double> make_eta_schedule(double eta_max, double eta_min,
+                                      std::uint32_t iter_max);
+
+/// The schedule an engine runs under `cfg`: cfg.eta_max > 0 selects the
+/// explicit restart temperature, otherwise the ceiling derives from
+/// `max_dref` as max_dref^2. Shared by every backend so a refinement config
+/// means the same thing on all of them.
+std::vector<double> make_engine_schedule(const LayoutConfig& cfg,
+                                         double max_dref);
 
 }  // namespace pgl::core

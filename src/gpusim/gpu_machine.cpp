@@ -139,14 +139,12 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
     GpuSimResult out;
     GpuCounters& c = out.counters;
     const core::PairSampler sampler(g, cfg);
-    const auto etas = core::make_eta_schedule(
-        cfg.schedule_length(), cfg.eps,
-        static_cast<double>(g.max_path_nuc_length()));
+    const auto etas = core::make_engine_schedule(
+        cfg, static_cast<double>(g.max_path_nuc_length()));
 
-    // Initial layout (identical scheme to the CPU engine).
-    rng::Xoshiro256Plus init_rng(cfg.seed ^ 0xa02bdbf7bb3c0a7ULL);
-    const core::Layout initial =
-        core::make_linear_initial_layout(g, init_rng, cfg.init_jitter);
+    // Initial layout (identical scheme to the CPU engine, including the
+    // warm-start override).
+    const core::Layout initial = core::make_initial_layout(g, cfg);
     core::XYStore store(initial);  // functional storage (organization-agnostic)
     // The warp's per-step batch drains through the same pluggable update
     // kernel as the CPU backends (cfg.kernel; validated here).

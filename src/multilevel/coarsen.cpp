@@ -1,0 +1,211 @@
+#include "multilevel/coarsen.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <utility>
+
+#include "graph/handle.hpp"
+
+namespace pgl::multilevel {
+
+namespace {
+
+// Oriented-handle encoding over 2N slots: h = 2*node + orient, flip = h^1.
+// succ_[h] holds the unique handle following h across every doubled path
+// reading, or one of the two sentinels.
+constexpr std::uint32_t kNone = 0xFFFFFFFFu;   // never followed
+constexpr std::uint32_t kMulti = 0xFFFFFFFEu;  // followed inconsistently
+
+inline std::uint32_t flip(std::uint32_t h) noexcept { return h ^ 1u; }
+inline std::uint32_t hnode(std::uint32_t h) noexcept { return h >> 1; }
+
+/// Successor / terminal tables over the doubled path readings.
+struct LinkTables {
+    std::vector<std::uint32_t> succ;
+    std::vector<std::uint8_t> terminal;
+
+    explicit LinkTables(const graph::LeanGraph& g)
+        : succ(2 * static_cast<std::size_t>(g.node_count()), kNone),
+          terminal(2 * static_cast<std::size_t>(g.node_count()), 0) {
+        const auto records = g.step_records();
+        const auto offsets = g.path_offsets();
+        for (std::uint32_t p = 0; p + 1 < offsets.size(); ++p) {
+            const std::uint32_t begin = offsets[p];
+            const std::uint32_t end = offsets[p + 1];
+            if (begin == end) continue;
+            const std::uint32_t first = handle_of(records[begin]);
+            const std::uint32_t last = handle_of(records[end - 1]);
+            // A reading ends at the path's last handle; the backward
+            // reading ends at the flip of its first.
+            terminal[last] = 1;
+            terminal[flip(first)] = 1;
+            for (std::uint32_t i = begin; i + 1 < end; ++i) {
+                const std::uint32_t a = handle_of(records[i]);
+                const std::uint32_t b = handle_of(records[i + 1]);
+                add(a, b);
+                add(flip(b), flip(a));
+            }
+        }
+    }
+
+    static std::uint32_t handle_of(const graph::PathStepRecord& r) noexcept {
+        return 2 * r.node + (r.orient ? 1u : 0u);
+    }
+
+    void add(std::uint32_t a, std::uint32_t b) noexcept {
+        if (succ[a] == kNone) {
+            succ[a] = b;
+        } else if (succ[a] != b) {
+            succ[a] = kMulti;
+        }
+    }
+
+    /// True when the link h -> succ[h] may be contracted: every doubled
+    /// reading that visits h continues to succ[h], and every reading that
+    /// visits succ[h] arrived from h. Self-links (same node) stay, so a
+    /// run never contains a node twice via an immediate repeat.
+    bool contractible(std::uint32_t h) const noexcept {
+        const std::uint32_t g = succ[h];
+        if (g >= kMulti) return false;  // kNone or kMulti
+        if (hnode(g) == hnode(h)) return false;
+        if (terminal[h] || terminal[flip(g)]) return false;
+        return succ[flip(g)] == flip(h);
+    }
+};
+
+}  // namespace
+
+CoarseLevel coarsen(const graph::LeanGraph& fine) {
+    const std::uint32_t n = fine.node_count();
+    const LinkTables links(fine);
+
+    CoarseLevel out;
+    CoarseMap& map = out.map;
+    map.coarse_of.assign(n, kNone);
+    map.offset_of.assign(n, 0);
+    map.flipped.assign(n, 0);
+    map.run_offset.push_back(0);
+
+    // Position of each fine node within its run, for the continuation
+    // check while rebuilding paths. Local: derivable from the CSR.
+    std::vector<std::uint32_t> pos_in_run(n, 0);
+
+    // Chain discovery in ascending fine-node order; the smallest unassigned
+    // node seeds each chain, so coarse ids ascend with the smallest fine id
+    // they cover — fully deterministic, no hashing, no path order effects.
+    std::vector<std::uint8_t> in_chain(n, 0);
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> chain;  // (node, orient)
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> left;
+    for (std::uint32_t u = 0; u < n; ++u) {
+        if (map.coarse_of[u] != kNone) continue;
+        chain.clear();
+        left.clear();
+        chain.emplace_back(u, 0);
+        in_chain[u] = 1;
+
+        // Extend rightward from u+.
+        for (std::uint32_t h = 2 * u; links.contractible(h);) {
+            const std::uint32_t g = links.succ[h];
+            const std::uint32_t v = hnode(g);
+            if (in_chain[v]) break;  // cycle: the whole loop is one chain
+            chain.emplace_back(v, static_cast<std::uint8_t>(g & 1u));
+            in_chain[v] = 1;
+            h = g;
+        }
+        // Extend leftward by walking rightward from u-; the discovered
+        // orientations are relative to the reversed direction, so they
+        // flip when spliced in front.
+        for (std::uint32_t h = 2 * u + 1; links.contractible(h);) {
+            const std::uint32_t g = links.succ[h];
+            const std::uint32_t v = hnode(g);
+            if (in_chain[v]) break;
+            left.emplace_back(v, static_cast<std::uint8_t>((g & 1u) ^ 1u));
+            in_chain[v] = 1;
+            h = g;
+        }
+        if (!left.empty()) {
+            chain.insert(chain.begin(), left.rbegin(), left.rend());
+        }
+        // Canonical direction: smaller fine id first.
+        if (chain.back().first < chain.front().first) {
+            std::reverse(chain.begin(), chain.end());
+            for (auto& e : chain) e.second ^= 1u;
+        }
+        for (const auto& e : chain) in_chain[e.first] = 0;
+
+        // Emit the chain as one coarse node — split only in the (absurd)
+        // case a run's nucleotide total overflows a node-length uint32.
+        constexpr std::uint64_t kMaxLen =
+            std::numeric_limits<std::uint32_t>::max();
+        std::size_t i = 0;
+        while (i < chain.size()) {
+            const std::uint32_t c = map.coarse_count();
+            std::uint64_t len = 0;
+            std::uint32_t pos = 0;
+            while (i < chain.size()) {
+                const auto [v, o] = chain[i];
+                const std::uint64_t vl = fine.node_length(v);
+                if (pos > 0 && len + vl > kMaxLen) break;
+                map.coarse_of[v] = c;
+                map.offset_of[v] = len;
+                map.flipped[v] = o;
+                pos_in_run[v] = pos;
+                map.run_nodes.push_back(v);
+                len += vl;
+                ++pos;
+                ++i;
+            }
+            map.run_offset.push_back(
+                static_cast<std::uint32_t>(map.run_nodes.size()));
+            map.run_length.push_back(len);
+        }
+    }
+
+    // Coarse graph: node c's length is its run's nucleotide total; each
+    // fine path becomes the sequence of runs it crosses, one oriented step
+    // per complete traversal. Partial crossings cannot occur — a run is
+    // only formed when *every* visit of its nodes crosses the whole chain —
+    // so the continuation check below is an invariant walk, not a guess.
+    graph::LeanGraphBuilder b;
+    b.reserve_nodes(map.coarse_count());
+    for (std::uint32_t c = 0; c < map.coarse_count(); ++c) {
+        b.add_node(static_cast<std::uint32_t>(map.run_length[c]));
+    }
+    b.reserve_paths(fine.path_count());
+
+    const auto records = fine.step_records();
+    const auto offsets = fine.path_offsets();
+    for (std::uint32_t p = 0; p + 1 < offsets.size(); ++p) {
+        b.begin_path();
+        std::uint32_t prev_c = kNone;
+        std::uint8_t prev_o = 0;
+        std::uint32_t prev_pos = 0;
+        for (std::uint32_t s = offsets[p]; s < offsets[p + 1]; ++s) {
+            const graph::PathStepRecord& r = records[s];
+            const std::uint32_t c = map.coarse_of[r.node];
+            const std::uint8_t o =
+                static_cast<std::uint8_t>((r.orient ? 1u : 0u) ^
+                                          map.flipped[r.node]);
+            const std::uint32_t pos = pos_in_run[r.node];
+            // Continuation of the current traversal: same run, same
+            // direction, adjacent run position (ascending when the run is
+            // walked forward, descending when reversed).
+            if (prev_c == c && prev_o == o &&
+                (o == 0 ? pos == prev_pos + 1
+                        : prev_pos == pos + 1)) {
+                prev_pos = pos;
+                continue;
+            }
+            b.add_step(graph::Handle::make(c, o != 0));
+            prev_c = c;
+            prev_o = o;
+            prev_pos = pos;
+        }
+        b.end_path();
+    }
+    out.graph = b.finish();
+    return out;
+}
+
+}  // namespace pgl::multilevel

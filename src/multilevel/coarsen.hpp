@@ -1,0 +1,75 @@
+#pragma once
+// Multilevel layout, level builder (coarsener) — collapses maximal linear
+// runs of the LeanGraph path space into single coarse nodes, the way unitig
+// compaction collapses non-branching chains of a de Bruijn graph.
+//
+// A *run* is a maximal chain of nodes traversed consecutively by the same
+// set of path visits: every traversal of any node in the chain crosses the
+// whole chain (in either direction — runs are bidirected, so an inversion
+// walk keeps its run intact). Formally, the link u -> v is contractible when
+// every occurrence of u in the doubled path readings (each path read
+// forward and, with flipped orientations, backward) is followed by v with a
+// consistent orientation, and every occurrence of v is preceded by u. Nodes
+// with branching context — bubble arms, variant sites, path endpoints —
+// become singleton runs.
+//
+// The coarse graph preserves the layout problem exactly at run granularity:
+// a coarse node's length is the run's total nucleotide length, and a coarse
+// path is the fine path with each complete run traversal collapsed to one
+// oriented step, so every reference distance between run boundaries is
+// unchanged. PG-SGD on the coarse graph therefore anneals the *same*
+// global objective with far fewer nodes and far fewer sampled terms per
+// iteration — which is what buys the multilevel wall-clock win.
+//
+// Everything here is deterministic: runs are discovered in ascending
+// fine-node order, coarse ids ascend with the smallest fine id of their
+// run, and a run's orientation is canonicalized so its first fine node id
+// is smaller than its last.
+#include <cstdint>
+#include <vector>
+
+#include "graph/lean_graph.hpp"
+
+namespace pgl::multilevel {
+
+/// Bidirectional fine <-> coarse node mapping of one coarsening level.
+struct CoarseMap {
+    // --- fine -> coarse ---
+    std::vector<std::uint32_t> coarse_of;  ///< fine node -> coarse node
+    std::vector<std::uint64_t> offset_of;  ///< nucleotide offset of the fine
+                                           ///< node's start within its run,
+                                           ///< measured in run direction
+    std::vector<std::uint8_t> flipped;     ///< 1 = fine node lies reverse-
+                                           ///< oriented within its run
+
+    // --- coarse -> fine (CSR, nodes in run order) ---
+    std::vector<std::uint32_t> run_offset;  ///< size coarse_count() + 1
+    std::vector<std::uint32_t> run_nodes;   ///< fine ids, run order
+    std::vector<std::uint64_t> run_length;  ///< coarse node -> run nucleotides
+
+    std::uint32_t fine_count() const noexcept {
+        return static_cast<std::uint32_t>(coarse_of.size());
+    }
+    std::uint32_t coarse_count() const noexcept {
+        return static_cast<std::uint32_t>(run_length.size());
+    }
+    /// Fine nodes of coarse node c, in run order.
+    std::span<const std::uint32_t> run(std::uint32_t c) const {
+        return std::span<const std::uint32_t>(run_nodes)
+            .subspan(run_offset[c], run_offset[c + 1] - run_offset[c]);
+    }
+};
+
+/// One coarsening level: the coarse graph plus the mapping back to the
+/// finer graph it was built from.
+struct CoarseLevel {
+    graph::LeanGraph graph;
+    CoarseMap map;
+};
+
+/// Builds one coarsening level. Always succeeds; on a graph with no
+/// collapsible runs the coarse graph is node-for-node identical to the
+/// fine one (every run a singleton).
+CoarseLevel coarsen(const graph::LeanGraph& fine);
+
+}  // namespace pgl::multilevel

@@ -1,0 +1,23 @@
+#pragma once
+// Multilevel layout, prolongation step — projects a converged coarse
+// layout down to the finer graph it was coarsened from. Every fine node is
+// placed on the line segment of its run's coarse node, at the parameter
+// positions matching its nucleotide offsets within the run, so reference
+// distances *inside* a run are already exact in the interpolated layout
+// and the refinement pass only has to bend runs, not stretch them.
+//
+// Exactness contract (tests rely on it): a singleton run's fine segment is
+// byte-identical to its coarse segment — the interpolation parameters 0
+// and 1 reproduce the coarse endpoints exactly, with no rounding.
+#include "core/layout.hpp"
+#include "multilevel/coarsen.hpp"
+
+namespace pgl::multilevel {
+
+/// Projects `coarse` (a layout of map.coarse_count() nodes) through `map`
+/// onto `fine` (the graph the level was built from). Throws
+/// std::invalid_argument on a size mismatch.
+core::Layout interpolate(const CoarseMap& map, const core::Layout& coarse,
+                         const graph::LeanGraph& fine);
+
+}  // namespace pgl::multilevel

@@ -12,14 +12,18 @@ PartitionResult partition_layout(Decomposition d, const PartitionOptions& opt) {
 
     ComponentScheduler scheduler(opt.schedule);
     if (opt.progress) scheduler.set_progress_hook(opt.progress);
-    out.component_results = scheduler.run(out.decomposition);
+    out.component_results = scheduler.run(out.decomposition, &out.stages);
 
     for (const core::LayoutResult& r : out.component_results) {
         out.updates += r.updates;
         out.skipped += r.skipped;
         out.engine_seconds += r.seconds;
     }
+    const auto t_stitch = std::chrono::steady_clock::now();
     out.stitched = stitch(out.decomposition, out.component_results, opt.stitching);
+    out.stitch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_stitch)
+            .count();
 
     out.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

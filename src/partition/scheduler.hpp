@@ -20,6 +20,7 @@
 
 #include "core/config.hpp"
 #include "core/engine.hpp"
+#include "multilevel/plan.hpp"
 #include "partition/components.hpp"
 
 namespace pgl::partition {
@@ -47,6 +48,23 @@ struct SchedulerOptions {
     core::LayoutConfig config;            ///< per-engine config; cfg.seed is the
                                           ///< base seed mixed per component
     std::uint32_t workers = 1;            ///< components laid out concurrently
+    /// Lay each component out through the multilevel pass plan
+    /// (coarsen -> coarse anneal -> interpolate -> refine) instead of a
+    /// flat run. Composes with the determinism contract unchanged: the
+    /// plan is derived per component from the same mixed seed config.
+    bool multilevel = false;
+    multilevel::MultilevelOptions multilevel_opt;
+};
+
+/// Per-stage engine/wall seconds summed over components of a multilevel
+/// scheduler run (all zero for flat runs).
+struct StageSeconds {
+    double coarsen = 0.0;
+    double layout = 0.0;
+    double interpolate = 0.0;
+    double refine = 0.0;
+
+    void add(const std::vector<multilevel::PassTiming>& timings);
 };
 
 /// Lays out one component exactly as the scheduler would: a fresh engine of
@@ -58,7 +76,8 @@ struct SchedulerOptions {
 /// must match byte-for-byte.
 core::LayoutResult run_component(const ComponentSubgraph& component,
                                  std::uint32_t component_id,
-                                 const SchedulerOptions& opt);
+                                 const SchedulerOptions& opt,
+                                 StageSeconds* stages = nullptr);
 
 /// Runs one engine per component across a ThreadPool of opt.workers.
 class ComponentScheduler {
@@ -70,7 +89,11 @@ public:
     const SchedulerOptions& options() const noexcept { return opt_; }
 
     /// Returns one LayoutResult per component, indexed by component id.
-    std::vector<core::LayoutResult> run(const Decomposition& d) const;
+    /// `stages`, when given, receives the per-stage seconds summed over
+    /// components in component-id order (deterministic sum, however the
+    /// workers raced).
+    std::vector<core::LayoutResult> run(const Decomposition& d,
+                                        StageSeconds* stages = nullptr) const;
 
 private:
     SchedulerOptions opt_;

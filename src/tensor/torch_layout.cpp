@@ -36,13 +36,10 @@ TorchLayoutResult layout_torch(const graph::LeanGraph& g,
         2.0 * 2.0 * static_cast<double>(g.node_count()) * sizeof(float));
 
     const core::PairSampler sampler(g, cfg);
-    const auto etas = core::make_eta_schedule(
-        cfg.schedule_length(), cfg.eps,
-        static_cast<double>(g.max_path_nuc_length()));
+    const auto etas = core::make_engine_schedule(
+        cfg, static_cast<double>(g.max_path_nuc_length()));
 
-    rng::Xoshiro256Plus init_rng(cfg.seed ^ 0xa02bdbf7bb3c0a7ULL);
-    const core::Layout initial =
-        core::make_linear_initial_layout(g, init_rng, cfg.init_jitter);
+    const core::Layout initial = core::make_initial_layout(g, cfg);
 
     // Coordinates live in two flat tensors ("the adjustable weights"),
     // initialized from — and finally written back into — an XYStore, so

@@ -309,4 +309,77 @@ graph::VariationGraph generate_whole_genome(
     return whole;
 }
 
+PangenomeSpec with_finer_segmentation(PangenomeSpec spec, std::uint32_t sub) {
+    if (sub <= 1) return spec;
+    const double s = static_cast<double>(sub);
+    spec.backbone_nodes *= sub;
+    spec.snv_rate /= s;
+    spec.ins_rate /= s;
+    spec.del_rate /= s;
+    spec.sv_rate /= s;
+    spec.inv_rate /= s;
+    spec.loop_rate /= s;
+    spec.node_len_min = std::max<std::uint32_t>(1, spec.node_len_min / sub);
+    spec.node_len_max =
+        std::max<std::uint32_t>(spec.node_len_min, spec.node_len_max / sub);
+    spec.sv_segment_nodes *= sub;
+    spec.dup_segment_nodes *= sub;
+    spec.name += "-sub" + std::to_string(sub);
+    return spec;
+}
+
+void append_linear_runs(const LinearRunSpec& spec,
+                        std::vector<std::uint32_t>& node_lengths,
+                        std::vector<std::vector<Handle>>& paths) {
+    const std::uint32_t base = static_cast<std::uint32_t>(node_lengths.size());
+    const std::uint32_t runs = std::max(1u, spec.runs);
+    const std::uint32_t rl = std::max(1u, spec.run_length);
+    const std::uint32_t bubbles = spec.separators ? runs - 1 : 0;
+
+    // Layout of the id range: runs*rl backbone nodes first, then the two
+    // alleles of each bubble (bubble b -> base + runs*rl + 2*b + {0, 1}).
+    const std::uint32_t backbone = runs * rl;
+    for (std::uint32_t i = 0; i < backbone + 2 * bubbles; ++i) {
+        node_lengths.push_back(spec.node_len);
+    }
+
+    rng::SplitMix64 mix(spec.seed);
+    const std::uint64_t salt = mix.next();
+    for (std::uint32_t p = 0; p < std::max(1u, spec.n_paths); ++p) {
+        std::vector<Handle> walk;
+        walk.reserve(backbone + bubbles);
+        for (std::uint32_t r = 0; r < runs; ++r) {
+            const std::uint32_t first = base + r * rl;
+            const bool rev = spec.invert_alternate && (r % 2 == 1);
+            for (std::uint32_t i = 0; i < rl; ++i) {
+                const std::uint32_t v = rev ? first + rl - 1 - i : first + i;
+                walk.push_back(Handle::make(v, rev));
+            }
+            if (spec.separators && r + 1 < runs) {
+                // Paths 0 and 1 pin the two alleles so every bubble is a
+                // real branch point; the rest choose pseudo-randomly.
+                std::uint32_t allele;
+                if (p < 2) {
+                    allele = p;
+                } else {
+                    rng::SplitMix64 pick(salt ^
+                                         (0x9E3779B97F4A7C15ULL * (p + 1)) ^
+                                         (0xBF58476D1CE4E5B9ULL * (r + 1)));
+                    allele = static_cast<std::uint32_t>(pick.next() & 1u);
+                }
+                walk.push_back(Handle::make(base + backbone + 2 * r + allele,
+                                            false));
+            }
+        }
+        paths.push_back(std::move(walk));
+    }
+}
+
+graph::LeanGraph generate_linear_runs(const LinearRunSpec& spec) {
+    std::vector<std::uint32_t> node_lengths;
+    std::vector<std::vector<Handle>> paths;
+    append_linear_runs(spec, node_lengths, paths);
+    return graph::LeanGraph::from_parts(std::move(node_lengths), paths);
+}
+
 }  // namespace pgl::workloads

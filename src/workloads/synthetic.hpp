@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/lean_graph.hpp"
 #include "graph/variation_graph.hpp"
 
 namespace pgl::workloads {
@@ -77,5 +78,47 @@ std::vector<PangenomeSpec> whole_genome_spec(std::uint32_t n_components,
 /// call recovers exactly these components, in this order.
 graph::VariationGraph generate_whole_genome(
     const std::vector<PangenomeSpec>& specs);
+
+/// The same genome at a finer node segmentation: `sub` times as many
+/// backbone nodes, each `sub` times shorter, with per-node variant rates
+/// divided by `sub` so variant density *per nucleotide* is unchanged.
+/// Models bp-resolution graph builds (pggb/minigraph-cactus emit many short
+/// nodes where odgi-style builds merge them); the multilevel bench runs on
+/// this form because segmentation redundancy is exactly the dimension run
+/// coarsening removes.
+PangenomeSpec with_finer_segmentation(PangenomeSpec spec, std::uint32_t sub);
+
+// --- Exact-structure workload for the multilevel coarsener ---
+
+/// A backbone of `runs` maximal linear runs, each `run_length` nodes of
+/// `node_len` nucleotides, separated by biallelic single-node bubbles that
+/// force run boundaries (both alleles are always taken by at least one path
+/// when n_paths >= 2). The coarsener's output on this graph is known in
+/// closed form: exactly `runs` run-nodes of `run_length` fine nodes each,
+/// plus 2*(runs-1) singleton separator nodes — see generate_linear_runs.
+struct LinearRunSpec {
+    std::uint32_t runs = 4;          ///< maximal linear runs on the backbone
+    std::uint32_t run_length = 8;    ///< fine nodes per run
+    std::uint32_t n_paths = 3;       ///< haplotypes walking the backbone
+    std::uint32_t node_len = 5;      ///< nucleotides per backbone node
+    bool separators = true;          ///< bubble between consecutive runs;
+                                     ///< false collapses the whole backbone
+                                     ///< into one run
+    bool invert_alternate = false;   ///< odd runs are traversed in reverse
+                                     ///< (id-descending, flipped handles) by
+                                     ///< every path
+    std::uint64_t seed = 99;         ///< allele choice of paths >= 2
+};
+
+/// Appends the spec's nodes (ids starting at node_lengths.size()) and paths
+/// to the given from_parts inputs. Composing several calls builds a
+/// multi-component graph with disjoint id ranges — the seam the
+/// runs-never-span-components tests drive.
+void append_linear_runs(const LinearRunSpec& spec,
+                        std::vector<std::uint32_t>& node_lengths,
+                        std::vector<std::vector<graph::Handle>>& paths);
+
+/// LeanGraph::from_parts over a single spec.
+graph::LeanGraph generate_linear_runs(const LinearRunSpec& spec);
 
 }  // namespace pgl::workloads

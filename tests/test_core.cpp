@@ -44,13 +44,58 @@ TEST(Schedule, EndpointsMatchTheory) {
 }
 
 TEST(Schedule, SingleIterationUsesEtaMax) {
-    const auto etas = core::make_eta_schedule(1, 0.01, 100);
+    const auto etas = core::make_eta_schedule(1u, 0.01, 100.0);
     ASSERT_EQ(etas.size(), 1u);
     EXPECT_DOUBLE_EQ(etas[0], 1e4);
 }
 
 TEST(Schedule, EmptyForZeroIterations) {
-    EXPECT_TRUE(core::make_eta_schedule(0, 0.01, 100).empty());
+    EXPECT_TRUE(core::make_eta_schedule(0u, 0.01, 100.0).empty());
+}
+
+// --- Explicit-temperature overload (eta_max, eta_min, iter_max) ---
+
+TEST(Schedule, ExplicitOverloadEndpointsAndDecay) {
+    const auto etas = core::make_eta_schedule(1e6, 0.01, 20u);
+    ASSERT_EQ(etas.size(), 20u);
+    EXPECT_NEAR(etas.front(), 1e6, 1e6 * 1e-12);
+    EXPECT_NEAR(etas.back(), 0.01, 0.01 * 1e-9);
+    for (std::size_t i = 1; i < etas.size(); ++i) EXPECT_LT(etas[i], etas[i - 1]);
+}
+
+TEST(Schedule, ExplicitOverloadClampsEtaMinAboveEtaMax) {
+    // eta_min > eta_max must clamp down, never grow the learning rate.
+    const auto etas = core::make_eta_schedule(1.0, 100.0, 8u);
+    ASSERT_EQ(etas.size(), 8u);
+    for (double e : etas) EXPECT_DOUBLE_EQ(e, 1.0);
+}
+
+TEST(Schedule, ExplicitOverloadSingleIterationUsesEtaMax) {
+    const auto etas = core::make_eta_schedule(42.0, 0.01, 1u);
+    ASSERT_EQ(etas.size(), 1u);
+    EXPECT_DOUBLE_EQ(etas[0], 42.0);
+}
+
+TEST(Schedule, OverloadsAgreeOnGraphDerivedCeiling) {
+    // The graph-derived overload is the explicit one at eta_max = d^2.
+    const double d = 1e4;
+    const auto a = core::make_eta_schedule(16u, 0.01, d);
+    const auto b = core::make_eta_schedule(d * d, 0.01, 16u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Schedule, RestartReproducesScheduleTail) {
+    // A refine pass restarting at eta_max = flat[I - R] replays the last R
+    // entries of the flat schedule bit for bit — the warm-start contract
+    // the multilevel refiner relies on.
+    const std::uint32_t I = 12, R = 4;
+    const auto flat = core::make_eta_schedule(I, 0.01, 1e5);
+    const auto tail = core::make_eta_schedule(flat[I - R], 0.01, R);
+    ASSERT_EQ(tail.size(), R);
+    for (std::uint32_t i = 0; i < R; ++i) {
+        EXPECT_NEAR(tail[i], flat[I - R + i], flat[I - R + i] * 1e-12);
+    }
 }
 
 TEST(Schedule, TinyGraphClampsEtaMinToEtaMax) {

@@ -9,6 +9,7 @@
 //              [--iters N] [--factor F] [--threads N] [--seed N]
 //              [--save-graph FILE.pgg] [--load-graph FILE.pgg]
 //              [--partition] [--component-workers N] [--per-component-out DIR]
+//              [--multilevel[=LEVELS]] [--refine-iters N] [--exact-tail]
 //              [--svg out.svg] [--ppm out.ppm] [--stress] [--cdl]
 //              [--progress] [--timing] [--list-backends] [--list-kernels]
 //
@@ -46,6 +47,7 @@
 #include "io/lay_io.hpp"
 #include "io/pgg_io.hpp"
 #include "metrics/path_stress.hpp"
+#include "multilevel/plan.hpp"
 #include "partition/partition.hpp"
 
 namespace {
@@ -69,6 +71,14 @@ void usage(const char* argv0) {
         << "                      each with its own engine, stitch one canvas\n"
         << "  --component-workers N  components laid out concurrently (default 1)\n"
         << "  --per-component-out DIR  also dump component_<k>.lay per component\n"
+        << "  --multilevel[=LEVELS]  coarsen linear runs LEVELS times (default 1),\n"
+        << "                      anneal the coarse graph, interpolate, refine\n"
+        << "                      (composes with --partition: per component)\n"
+        << "  --refine-iters N    full-resolution refinement iterations\n"
+        << "                      (default max(2, iters / 2))\n"
+        << "  --exact-tail        refine with the flat schedule's own tail\n"
+        << "                      temperatures instead of the adaptive\n"
+        << "                      run-length restart (bit-exact tail replay)\n"
         << "  --svg FILE          also render an SVG\n"
         << "  --ppm FILE          also render a PPM bitmap\n"
         << "  --stress            report sampled path stress with CI95\n"
@@ -127,8 +137,9 @@ int main(int argc, char** argv) {
     std::string in_path, out_path, svg_path, ppm_path, backend, gpu_name;
     std::string per_component_dir, save_graph_path, load_graph_path;
     bool report_stress = false, progress = false, partition_run = false;
-    bool timing = false;
+    bool timing = false, multilevel_run = false;
     std::uint32_t component_workers = 1;
+    multilevel::MultilevelOptions mlopt;
     core::LayoutConfig cfg;
 
     // CI's smoke loops consume the `--list-backends` / `--list-kernels`
@@ -202,6 +213,20 @@ int main(int argc, char** argv) {
             component_workers = parse_int_or_die<std::uint32_t>(arg, next());
         } else if (arg == "--per-component-out") {
             per_component_dir = next();
+        } else if (arg == "--multilevel") {
+            multilevel_run = true;
+        } else if (arg.rfind("--multilevel=", 0) == 0) {
+            multilevel_run = true;
+            mlopt.levels = parse_int_or_die<std::uint32_t>(
+                "--multilevel", arg.c_str() + std::strlen("--multilevel="));
+            if (mlopt.levels == 0) {
+                std::cerr << "--multilevel=LEVELS requires LEVELS >= 1\n";
+                return 2;
+            }
+        } else if (arg == "--refine-iters") {
+            mlopt.refine_iters = parse_int_or_die<std::uint32_t>(arg, next());
+        } else if (arg == "--exact-tail") {
+            mlopt.exact_tail = true;
         } else if (arg == "--svg") {
             svg_path = next();
         } else if (arg == "--ppm") {
@@ -242,6 +267,14 @@ int main(int argc, char** argv) {
         std::cerr << "--component-workers requires --partition\n";
         return 2;
     }
+    if (mlopt.refine_iters != 0 && !multilevel_run) {
+        std::cerr << "--refine-iters requires --multilevel\n";
+        return 2;
+    }
+    if (mlopt.exact_tail && !multilevel_run) {
+        std::cerr << "--exact-tail requires --multilevel\n";
+        return 2;
+    }
     if (backend.empty()) backend = "cpu-soa";
     if (!core::KernelRegistry::instance().contains(cfg.kernel)) {
         std::cerr << "unknown update kernel \"" << cfg.kernel << "\"; available:";
@@ -259,7 +292,8 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    double t_load = 0.0, t_layout = 0.0, t_metrics = 0.0, t_render = 0.0;
+    double t_load = 0.0, t_coarsen = 0.0, t_layout = 0.0, t_interpolate = 0.0,
+           t_refine = 0.0, t_stitch = 0.0, t_metrics = 0.0, t_render = 0.0;
     const auto t_start = std::chrono::steady_clock::now();
     try {
         auto t0 = std::chrono::steady_clock::now();
@@ -287,6 +321,8 @@ int main(int argc, char** argv) {
             popt.schedule.backend = backend;
             popt.schedule.config = cfg;
             popt.schedule.workers = component_workers;
+            popt.schedule.multilevel = multilevel_run;
+            popt.schedule.multilevel_opt = mlopt;
             if (progress) {
                 popt.progress = [](const partition::ComponentProgress& p) {
                     std::cerr << "component " << p.completed << "/" << p.total
@@ -304,6 +340,15 @@ int main(int argc, char** argv) {
                       << part.stitched.width << " x " << part.stitched.height
                       << "\n";
             final_layout = part.stitched.layout;
+            t_stitch = part.stitch_seconds;
+            if (multilevel_run) {
+                t_coarsen = part.stages.coarsen;
+                t_layout = part.stages.layout;
+                t_interpolate = part.stages.interpolate;
+                t_refine = part.stages.refine;
+            } else {
+                t_layout = part.seconds - part.stitch_seconds;
+            }
         } else {
             // `--gpu=a100` needs a non-default machine spec, so it constructs
             // the engine directly; every registered name goes via the
@@ -316,7 +361,6 @@ int main(int argc, char** argv) {
                 engine = core::make_engine(backend);
             }
 
-            engine->init(g, cfg);
             if (progress) {
                 engine->set_progress_hook([](const core::IterationStats& s) {
                     std::cerr << "iter " << (s.iteration + 1) << "/" << s.iter_max
@@ -324,12 +368,46 @@ int main(int argc, char** argv) {
                               << "  skipped " << s.skipped << "\n";
                 });
             }
-            auto r = engine->run();
-            std::cerr << engine->name() << ": " << r.updates << " updates in "
-                      << r.seconds << " s\n";
-            final_layout = std::move(r.layout);
+            if (multilevel_run) {
+                const multilevel::LayoutPlan plan = multilevel::build_plan(
+                    cfg, mlopt,
+                    static_cast<double>(g.max_path_nuc_length()));
+                std::cerr << "multilevel plan: " << multilevel::describe(plan)
+                          << "\n";
+                multilevel::MultilevelResult ml =
+                    multilevel::run_plan(plan, g, *engine, cfg);
+                std::cerr << engine->name() << " (multilevel, ";
+                for (std::size_t l = 0; l < ml.level_nodes.size(); ++l) {
+                    std::cerr << (l ? " -> " : "") << ml.level_nodes[l];
+                }
+                std::cerr << " nodes): " << ml.updates << " updates in "
+                          << ml.engine_seconds << " s\n";
+                for (const multilevel::PassTiming& t : ml.timings) {
+                    switch (t.kind) {
+                        case multilevel::PassKind::kCoarsen:
+                            t_coarsen += t.seconds;
+                            break;
+                        case multilevel::PassKind::kLayout:
+                            t_layout += t.seconds;
+                            break;
+                        case multilevel::PassKind::kInterpolate:
+                            t_interpolate += t.seconds;
+                            break;
+                        case multilevel::PassKind::kRefine:
+                            t_refine += t.seconds;
+                            break;
+                    }
+                }
+                final_layout = std::move(ml.layout);
+            } else {
+                engine->init(g, cfg);
+                auto r = engine->run();
+                std::cerr << engine->name() << ": " << r.updates
+                          << " updates in " << r.seconds << " s\n";
+                final_layout = std::move(r.layout);
+                t_layout = seconds_since(t0);
+            }
         }
-        t_layout = seconds_since(t0);
 
         t0 = std::chrono::steady_clock::now();
         io::write_layout_file(final_layout, out_path);
@@ -364,10 +442,18 @@ int main(int argc, char** argv) {
                       << sps.terms << " terms\n";
         }
         if (timing) {
-            std::cerr << "timing: load/build " << t_load << " s | layout "
-                      << t_layout << " s | metrics " << t_metrics
-                      << " s | render " << t_render << " s | total "
-                      << seconds_since(t_start) << " s\n";
+            // One stage per line, machine-parseable ("timing: <stage> <s> s").
+            // Multilevel stage lines are summed across components under
+            // --partition, so they can exceed wall-clock with workers > 1.
+            std::cerr << "timing: parse " << t_load << " s\n"
+                      << "timing: coarsen " << t_coarsen << " s\n"
+                      << "timing: layout " << t_layout << " s\n"
+                      << "timing: interpolate " << t_interpolate << " s\n"
+                      << "timing: refine " << t_refine << " s\n"
+                      << "timing: stitch " << t_stitch << " s\n"
+                      << "timing: metrics " << t_metrics << " s\n"
+                      << "timing: render " << t_render << " s\n"
+                      << "timing: total " << seconds_since(t_start) << " s\n";
         }
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
