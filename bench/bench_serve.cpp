@@ -1,0 +1,169 @@
+// Layout-service throughput/latency bench: drives the in-process job
+// server (the exact machinery behind `pgl_serve`) with a mixed open-loop
+// workload — many small jobs, a few large ones, plus repeat submits of one
+// hot config — and reports end-to-end service throughput and tail latency.
+//
+//   ./bench_serve [--scale F] [--iters N] [--threads N] [--backend NAME]
+//                 [--seed N] [--quick] [--json FILE]
+//
+// Method. Two synthetic pangenomes (MHC-like, ~4x apart in size) are
+// written as .pgg workloads to a scratch directory. All jobs are submitted
+// up front (open loop: admission pressure exists from t0, so the
+// smallest-first scheduler actually has choices to make), then the bench
+// waits for every job and takes per-job end-to-end latency = queue + run
+// from the server's own accounting. Repeat submits of the first small
+// config exercise the artifact-cache / in-flight-dedup fast path, exactly
+// as a CI fleet re-running an unchanged layout would.
+//
+// Gated records (bench/baseline.json, via check_regression.py):
+//   backend "serve-jobs-per-sec"  value = jobs / wall-clock   (higher)
+//   backend "serve-p99-latency"   value = p99 latency seconds (lower)
+//
+// --threads sets the server's worker count (not the per-engine threads;
+// jobs run the deterministic single-thread engine config so results stay
+// byte-stable and cacheable).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/gfa.hpp"
+#include "graph/lean_graph.hpp"
+#include "io/pgg_io.hpp"
+#include "serve/server.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Generates a spec'd pangenome and stores it as a .pgg workload file.
+std::string write_workload(const pgl::workloads::PangenomeSpec& spec,
+                           const std::string& dir, const std::string& name) {
+    const auto vg = pgl::workloads::generate_pangenome(spec);
+    const std::string gfa = dir + "/" + name + ".gfa";
+    const std::string pgg = dir + "/" + name + ".pgg";
+    pgl::graph::write_gfa_file(vg, gfa);
+    pgl::io::write_pgg_file(pgl::io::load_graph_file(gfa), pgg);
+    std::filesystem::remove(gfa);
+    return pgg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace pgl;
+    auto opt = bench::BenchOptions::parse(argc, argv);
+    const std::uint32_t workers = std::max(2u, opt.threads);
+    const std::uint32_t small_jobs = opt.quick ? 12 : 24;
+    const std::uint32_t large_jobs = opt.quick ? 3 : 8;
+    const std::uint32_t repeat_jobs = opt.quick ? 5 : 12;
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "pgl_bench_serve").string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    auto small_spec = workloads::mhc_spec(opt.scale);
+    small_spec.seed = opt.seed;
+    auto large_spec = workloads::mhc_spec(opt.scale * 4.0);
+    large_spec.seed = opt.seed + 1;
+    const std::string small_pgg = write_workload(small_spec, dir, "small");
+    const std::string large_pgg = write_workload(large_spec, dir, "large");
+
+    serve::ServerOptions sopt;
+    sopt.cache_dir = dir + "/cache";
+    sopt.workers = workers;
+    serve::Server server(sopt);
+    server.start();
+
+    const auto request = [&](const std::string& graph, std::uint64_t seed) {
+        serve::JobRequest r;
+        r.graph = graph;
+        r.backend = opt.backend;
+        r.config = opt.layout_config();
+        r.config.threads = 1;  // deterministic + cacheable per job
+        r.config.seed = seed;
+        return r;
+    };
+
+    std::cout << "== Layout service (" << workers << " workers, backend "
+              << opt.backend << ") ==\n"
+              << "workload: " << small_jobs << " small + " << large_jobs
+              << " large + " << repeat_jobs << " repeat submits\n";
+
+    // Open loop: every job is in the building before the first one leaves.
+    const auto t0 = Clock::now();
+    std::vector<std::uint64_t> ids;
+    // Interleave large among small so largest-last never happens by
+    // construction — the scheduler, not submit order, must produce fairness.
+    for (std::uint32_t i = 0; i < small_jobs; ++i) {
+        if (i < large_jobs) {
+            ids.push_back(server.submit(request(large_pgg, opt.seed + i)));
+        }
+        ids.push_back(server.submit(request(small_pgg, opt.seed + i)));
+    }
+    for (std::uint32_t i = 0; i < repeat_jobs; ++i) {
+        ids.push_back(server.submit(request(small_pgg, opt.seed)));
+    }
+
+    std::vector<double> latency;
+    latency.reserve(ids.size());
+    for (const std::uint64_t id : ids) {
+        const serve::JobStatus s = server.wait(id);
+        if (s.state != serve::JobState::kDone) {
+            std::cerr << "job " << id << " " << job_state_name(s.state) << ": "
+                      << s.error << "\n";
+            return 1;
+        }
+        latency.push_back(s.queue_seconds + s.run_seconds);
+    }
+    const double wall = secs_since(t0);
+    const serve::ServerStats stats = server.stats();
+    server.shutdown();
+
+    std::sort(latency.begin(), latency.end());
+    const auto pct = [&](double p) {
+        const std::size_t idx = static_cast<std::size_t>(
+            p * static_cast<double>(latency.size() - 1));
+        return latency[idx];
+    };
+    const double jobs_per_sec = static_cast<double>(ids.size()) / wall;
+
+    std::cout << ids.size() << " jobs in " << bench::fmt(wall, 3) << " s  ("
+              << bench::fmt(jobs_per_sec, 2) << " jobs/s)\n"
+              << "latency p50 " << bench::fmt(pct(0.50) * 1e3, 1) << " ms   p99 "
+              << bench::fmt(pct(0.99) * 1e3, 1) << " ms   max "
+              << bench::fmt(latency.back() * 1e3, 1) << " ms\n"
+              << "cache hits " << stats.cache_hits << "  dedup joins "
+              << stats.dedup_joins << "  completed " << stats.completed << "\n";
+
+    bench::JsonReporter reporter(opt.json_path);
+    {
+        bench::BenchRecord r;
+        r.bench = "bench_serve";
+        r.backend = "serve-jobs-per-sec";
+        r.scale = opt.scale;
+        r.iters = opt.iters;
+        r.threads = workers;
+        r.seconds = wall;
+        r.value = jobs_per_sec;
+        r.direction = "higher";
+        reporter.add(r);
+        r.backend = "serve-p99-latency";
+        r.value = pct(0.99);
+        r.direction = "lower";
+        reporter.add(r);
+    }
+    reporter.write();
+    std::filesystem::remove_all(dir);
+    return 0;
+}

@@ -3,6 +3,7 @@
 // odgi-layout's defaults as described in the paper: 30 iterations, cooling
 // in the second half, N_steps = 10 x (sum of path step counts) per
 // iteration.
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -68,6 +69,20 @@ struct LayoutConfig {
     /// refinement pass hands every engine the interpolated positions this
     /// way.
     std::shared_ptr<const Layout> initial_layout;
+
+    /// Cooperative cancellation token (the serve daemon's cancel path).
+    /// When set and flipped true, iteration-synchronous engines stop at
+    /// the next iteration boundary and return the coordinates they have —
+    /// a partial layout the caller must treat as abandoned, never publish.
+    /// The token is shared_ptr so one flag flows unchanged through config
+    /// copies into partition component engines and multilevel passes.
+    /// Never part of the canonical config (see canonical_config): it
+    /// selects no bytes of a *completed* run.
+    std::shared_ptr<const std::atomic<bool>> cancel;
+
+    bool cancel_requested() const noexcept {
+        return cancel && cancel->load(std::memory_order_relaxed);
+    }
 
     std::uint32_t schedule_length() const noexcept {
         return schedule_iter_max ? schedule_iter_max : iter_max;

@@ -87,12 +87,21 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
         hook(s);
     };
 
+    // Completed iterations, for the honest update count of a cancelled run
+    // (the Hogwild path keeps the full count: its workers share no
+    // iteration barrier to count at).
+    std::uint32_t iters_done = cfg.iter_max;
+
     const auto t0 = std::chrono::steady_clock::now();
     if (n_threads == 1) {
         rng::Xoshiro256Plus rng = seeder;
         TermBatch batch;
         batch.reserve(kBatchSlice);
         for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+            if (cfg.cancel_requested()) {
+                iters_done = iter;
+                break;
+            }
             const double eta = result.eta_schedule[iter];
             const bool cooling_iter = cfg.cooling(iter);
             const std::uint64_t sk =
@@ -112,6 +121,7 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
             const std::uint64_t share = shard_share(n_steps, n_threads, tid);
             std::uint64_t sk = 0;
             for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+                if (cfg.cancel_requested()) break;
                 sk += run_scalar_iter(sampler, result.eta_schedule[iter],
                                       cfg.cooling(iter), store, rng, share);
             }
@@ -137,6 +147,10 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
         std::vector<std::uint64_t> left(n_threads), slice(n_threads);
         std::vector<std::uint64_t> worker_skipped(n_threads);
         for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+            if (cfg.cancel_requested()) {
+                iters_done = iter;
+                break;
+            }
             const double eta = result.eta_schedule[iter];
             const bool cooling_iter = cfg.cooling(iter);
             std::uint64_t iter_skipped = 0;
@@ -173,7 +187,7 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
     }
     const auto t1 = std::chrono::steady_clock::now();
     result.seconds = std::chrono::duration<double>(t1 - t0).count();
-    result.updates = static_cast<std::uint64_t>(cfg.iter_max) * n_steps;
+    result.updates = static_cast<std::uint64_t>(iters_done) * n_steps;
     result.skipped = skipped.load();
     result.layout = store.snapshot();
     return result;

@@ -104,8 +104,16 @@ LayoutResult run_pipelined(const graph::LeanGraph& g, const LayoutConfig& cfg,
     std::vector<ShardCounter> fill_skipped(n_shards);
 
     std::uint64_t total_skipped = 0;
+    std::uint32_t iters_done = cfg.iter_max;
     const auto t0 = std::chrono::steady_clock::now();
     for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+        // Cooperative cancel, checked only at the iteration boundary where
+        // no fill job is in flight (the slice loop below always wait()s
+        // before its last apply), so the pool is quiescent when we bail.
+        if (cfg.cancel_requested()) {
+            iters_done = iter;
+            break;
+        }
         const double eta = result.eta_schedule[iter];
         const bool cooling_iter = cfg.cooling(iter);
 
@@ -150,7 +158,7 @@ LayoutResult run_pipelined(const graph::LeanGraph& g, const LayoutConfig& cfg,
     const auto t1 = std::chrono::steady_clock::now();
 
     result.seconds = std::chrono::duration<double>(t1 - t0).count();
-    result.updates = static_cast<std::uint64_t>(cfg.iter_max) * n_steps;
+    result.updates = static_cast<std::uint64_t>(iters_done) * n_steps;
     result.skipped = total_skipped;
     result.layout = store.snapshot();
     return result;

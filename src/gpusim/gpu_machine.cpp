@@ -181,6 +181,7 @@ GpuSimResult simulate_gpu_layout(const graph::LeanGraph& g,
     c.kernel_launches = cfg.iter_max + 1;
 
     for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+        if (cfg.cancel_requested()) break;  // cooperative cancel (serve)
         const double eta = etas.empty() ? 0.0 : etas[iter];
         const bool cooling_iter = cfg.cooling(iter);
         const std::uint64_t iter_updates0 = c.lane_updates;

@@ -1,0 +1,65 @@
+#include "io/atomic_file.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <system_error>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace pgl::io {
+
+namespace {
+
+/// Distinct temporary names per (process, call): two writers publishing the
+/// same destination concurrently must not scribble into one temporary. The
+/// loser of the final rename race simply publishes second — both files were
+/// complete, so the destination is always a whole artifact.
+std::string temp_name_for(const std::string& path) {
+    static std::atomic<std::uint64_t> counter{0};
+#ifdef __unix__
+    const auto pid = static_cast<std::uint64_t>(::getpid());
+#else
+    const std::uint64_t pid = 0;
+#endif
+    return path + ".tmp." + std::to_string(pid) + "." +
+           std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+    const std::string tmp = temp_name_for(path);
+    const auto fail = [&](const std::string& what) {
+        std::error_code ignore;
+        std::filesystem::remove(tmp, ignore);
+        throw std::runtime_error(what + ": " + path);
+    };
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) fail("cannot open temporary for write");
+        try {
+            writer(out);
+        } catch (...) {
+            std::error_code ignore;
+            std::filesystem::remove(tmp, ignore);
+            throw;
+        }
+        // flush() surfaces buffered write errors (ENOSPC, EPIPE on a FIFO,
+        // a revoked permission) that operator<< accumulated silently.
+        out.flush();
+        if (!out) fail("write failed");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) fail("cannot publish (rename failed: " + ec.message() + ")");
+}
+
+}  // namespace pgl::io

@@ -1,0 +1,31 @@
+#pragma once
+// Atomic file publication — the one way any pgl tool or the serve daemon
+// writes an output file. The naive ofstream path had two failure modes the
+// CLI could not see: a disk-full or permission error mid-write left a
+// truncated file behind with exit status 0 (ofstream swallows write errors
+// until you ask), and a reader racing the writer (the daemon's artifact
+// cache, a concurrent `cmp` in CI) could observe a half-written file.
+//
+// atomic_write_file fixes both: the writer callback streams into a unique
+// temporary in the destination directory, every stream error is checked
+// (including the final flush/close), and only a fully-written temporary is
+// renamed onto the destination — rename(2) within one directory is atomic,
+// so readers see either the old bytes or the complete new bytes, never a
+// prefix. On any failure the temporary is removed and std::runtime_error
+// is thrown, so callers exit nonzero instead of reporting success over a
+// partial file.
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace pgl::io {
+
+/// Writes `path` atomically: `writer` streams the payload into a unique
+/// sibling temporary which is then renamed onto `path`. Throws
+/// std::runtime_error (removing the temporary) if the temporary cannot be
+/// opened, the writer throws, any stream operation fails, or the rename
+/// fails.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+}  // namespace pgl::io

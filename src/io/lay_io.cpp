@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/atomic_file.hpp"
+
 namespace pgl::io {
 
 namespace {
@@ -35,9 +37,10 @@ void write_layout(const core::Layout& l, std::ostream& out) {
 }
 
 void write_layout_file(const core::Layout& l, const std::string& path) {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) throw std::runtime_error("cannot open layout file for write: " + path);
-    write_layout(l, out);
+    // Temp-file + rename: a failed or interrupted run can never leave a
+    // truncated .lay behind, and concurrent readers (the daemon's artifact
+    // cache, CI's cmp) only ever see complete files.
+    atomic_write_file(path, [&](std::ostream& out) { write_layout(l, out); });
 }
 
 core::Layout read_layout(std::istream& in) {

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/atomic_file.hpp"
+
 namespace pgl::io {
 
 namespace {
@@ -127,12 +129,7 @@ void write_pgg(const graph::LeanIngest& g, std::ostream& out) {
 }
 
 void write_pgg_file(const graph::LeanIngest& g, const std::string& path) {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-        throw std::runtime_error("cannot open graph cache for write: " + path);
-    }
-    write_pgg(g, out);
-    if (!out) throw std::runtime_error("graph cache write failed: " + path);
+    atomic_write_file(path, [&](std::ostream& out) { write_pgg(g, out); });
 }
 
 graph::LeanIngest read_pgg(std::istream& in) {

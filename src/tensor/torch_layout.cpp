@@ -61,6 +61,7 @@ TorchLayoutResult layout_torch(const graph::LeanGraph& g,
     std::uint64_t total_skipped = 0;
 
     for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
+        if (cfg.cancel_requested()) break;  // cooperative cancel (serve)
         const double eta = etas.empty() ? 0.0 : etas[iter];
         const bool cooling_iter = cfg.cooling(iter);
         std::uint64_t remaining = steps_per_iter;
