@@ -184,6 +184,15 @@ void JsonReporter::write() {
             }
             os << "}";
         }
+        if (!r.telemetry.empty()) {
+            os << ", \"telemetry\": {";
+            for (std::size_t s = 0; s < r.telemetry.size(); ++s) {
+                os << "\"" << json_escape(r.telemetry[s].first)
+                   << "\": " << r.telemetry[s].second
+                   << (s + 1 < r.telemetry.size() ? ", " : "");
+            }
+            os << "}";
+        }
         os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     os << "]\n";

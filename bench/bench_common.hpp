@@ -61,6 +61,13 @@ struct BenchRecord {
     /// {"stages": {"coarsen": ..., ...}} when non-empty. Purely
     /// informational — the gate never reads it.
     std::vector<std::pair<std::string, double>> stages;
+
+    /// Optional telemetry-sourced metrics (counter values, histogram
+    /// quantiles), emitted as {"telemetry": {"name": value, ...}} when
+    /// non-empty. Informational like `stages`: check_regression.py matches
+    /// records on (bench, backend, threads) and gates value /
+    /// updates_per_sec only, so adding keys here never perturbs the gate.
+    std::vector<std::pair<std::string, double>> telemetry;
 };
 
 /// Builds the record for one engine run under the bench's options.

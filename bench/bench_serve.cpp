@@ -35,6 +35,7 @@
 #include "graph/lean_graph.hpp"
 #include "io/pgg_io.hpp"
 #include "serve/server.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace {
@@ -146,6 +147,25 @@ int main(int argc, char** argv) {
               << "cache hits " << stats.cache_hits << "  dedup joins "
               << stats.dedup_joins << "  completed " << stats.completed << "\n";
 
+    // Server-side telemetry view of the same run: queue-wait and run-time
+    // histograms (counts exact, quantiles within the bucketing's 12.5%
+    // bound). Rides along in the informational "telemetry" object — the
+    // gated value/direction fields above stay byte-compatible with
+    // check_regression.py. All zeros under PGL_TELEMETRY=OFF.
+    std::vector<std::pair<std::string, double>> tele;
+    const auto add_hist = [&tele](const std::string& name,
+                                  const std::string& prefix) {
+        const telemetry::Histogram h =
+            telemetry::Registry::instance().histogram(name);
+        tele.emplace_back(prefix + "_count", static_cast<double>(h.count()));
+        tele.emplace_back(prefix + "_p50_s", h.quantile(0.50) / 1e9);
+        tele.emplace_back(prefix + "_p99_s", h.quantile(0.99) / 1e9);
+        tele.emplace_back(prefix + "_max_s",
+                          static_cast<double>(h.max()) / 1e9);
+    };
+    add_hist("serve.queue_wait_ns", "queue_wait");
+    add_hist("serve.run_ns", "run");
+
     bench::JsonReporter reporter(opt.json_path);
     {
         bench::BenchRecord r;
@@ -157,6 +177,7 @@ int main(int argc, char** argv) {
         r.seconds = wall;
         r.value = jobs_per_sec;
         r.direction = "higher";
+        r.telemetry = tele;
         reporter.add(r);
         r.backend = "serve-p99-latency";
         r.value = pct(0.99);

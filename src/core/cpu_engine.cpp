@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "core/kernels/update_kernel.hpp"
@@ -114,7 +115,24 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
         }
     } else if (!batched) {
         // Hogwild: every worker runs the whole schedule without barriers —
-        // one pool dispatch covers the entire run.
+        // one pool dispatch covers the entire run. The workers still share
+        // no synchronization point, but each marks iteration boundaries as
+        // it crosses them, and the *last* worker past a boundary emits the
+        // aggregated IterationStats — so progress reporting and telemetry
+        // see this backend too. Emission is pure observation (no worker
+        // ever waits on another), and boundary emissions are naturally
+        // serialized: iteration i+1 cannot complete before the worker that
+        // completed iteration i last has moved on. The hook therefore fires
+        // on a worker thread here (see engine.hpp).
+        const bool want_progress = static_cast<bool>(hook);
+        std::unique_ptr<std::atomic<std::uint32_t>[]> arrivals;
+        std::unique_ptr<std::atomic<std::uint64_t>[]> boundary_skipped;
+        if (want_progress) {
+            arrivals =
+                std::make_unique<std::atomic<std::uint32_t>[]>(cfg.iter_max);
+            boundary_skipped =
+                std::make_unique<std::atomic<std::uint64_t>[]>(cfg.iter_max);
+        }
         pool.run([&](std::uint32_t tid) {
             rng::Xoshiro256Plus rng = seeder;
             for (std::uint32_t j = 0; j < tid; ++j) rng.jump();
@@ -122,8 +140,19 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
             std::uint64_t sk = 0;
             for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
                 if (cfg.cancel_requested()) break;
-                sk += run_scalar_iter(sampler, result.eta_schedule[iter],
-                                      cfg.cooling(iter), store, rng, share);
+                const std::uint64_t it_sk =
+                    run_scalar_iter(sampler, result.eta_schedule[iter],
+                                    cfg.cooling(iter), store, rng, share);
+                sk += it_sk;
+                if (want_progress) {
+                    boundary_skipped[iter].fetch_add(
+                        it_sk, std::memory_order_relaxed);
+                    if (arrivals[iter].fetch_add(
+                            1, std::memory_order_acq_rel) + 1 == n_threads) {
+                        emit(iter, boundary_skipped[iter].load(
+                                       std::memory_order_relaxed));
+                    }
+                }
             }
             skipped.fetch_add(sk, std::memory_order_relaxed);
         });

@@ -1,11 +1,15 @@
 #include "core/engine.hpp"
 
+#include <atomic>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/cpu_engine.hpp"
 #include "gpusim/gpu_machine.hpp"
 #include "gpusim/gpu_spec.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tensor/torch_layout.hpp"
 
 namespace pgl::core {
@@ -22,7 +26,55 @@ LayoutResult LayoutEngine::run(std::uint32_t iterations) {
         if (cfg.schedule_iter_max == 0) cfg.schedule_iter_max = cfg_.schedule_length();
         cfg.iter_max = iterations;
     }
-    return do_run(cfg);
+
+    const std::string backend{name()};
+    telemetry::StageSpan run_span("engine.run", backend);
+
+#ifndef PGL_TELEMETRY_DISABLED
+    // Interpose the progress-hook path: every iteration boundary any
+    // backend reports feeds the per-iteration duration histogram, the
+    // iteration counter, and (when tracing) an iteration trace event —
+    // then forwards to whatever hook the caller installed. The original
+    // hook is restored on every exit path.
+    struct HookGuard {
+        ProgressHook& slot;
+        ProgressHook saved;
+        ~HookGuard() { slot = std::move(saved); }
+    } guard{hook_, hook_};
+    {
+        auto iter_hist =
+            telemetry::Registry::instance().histogram("engine.iteration_ns");
+        auto iter_count =
+            telemetry::Registry::instance().counter("engine.iterations");
+        // Iteration boundaries may be reported from worker threads (the
+        // Hogwild engines), so the previous-boundary timestamp is atomic.
+        auto last_ns = std::make_shared<std::atomic<std::uint64_t>>(
+            telemetry::now_ns());
+        ProgressHook user = guard.saved;
+        hook_ = [iter_hist, iter_count, last_ns, user,
+                 backend](const IterationStats& s) mutable {
+            const std::uint64_t now = telemetry::now_ns();
+            const std::uint64_t prev =
+                last_ns->exchange(now, std::memory_order_relaxed);
+            if (now > prev) {
+                iter_hist.record(now - prev);
+                telemetry::Tracer::instance().record_span(
+                    "iteration " + std::to_string(s.iteration), backend, prev,
+                    now - prev);
+            }
+            iter_count.add(1);
+            if (user) user(s);
+        };
+    }
+#endif
+
+    LayoutResult result = do_run(cfg);
+
+    auto& reg = telemetry::Registry::instance();
+    reg.counter("engine.runs").add(1);
+    reg.counter("engine.updates").add(result.updates);
+    reg.counter("engine.skipped").add(result.skipped);
+    return result;
 }
 
 EngineRegistry& EngineRegistry::instance() {

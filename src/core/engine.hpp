@@ -61,12 +61,22 @@ using ProgressHook = std::function<void(const IterationStats&)>;
 ///   auto result = eng->run();          // full schedule (cfg.iter_max)
 ///   auto probe  = eng->run(3);         // or a truncated run
 ///
-/// Iteration-synchronous engines (cpu-batched, cpu-pipelined, gpusim-*,
-/// torch, and the scalar CPU engine with one thread) invoke the progress
-/// hook after every
-/// iteration; the multithreaded Hogwild scalar path runs its workers
-/// through the whole schedule without barriers — exactly as odgi-layout
-/// does — so it reports no per-iteration progress.
+/// Every backend reports per-iteration progress. Iteration-synchronous
+/// engines (cpu-batched, cpu-pipelined, gpusim-*, torch, and the scalar
+/// CPU engine with one thread) invoke the hook from the calling thread
+/// after each iteration. The multithreaded Hogwild scalar path still runs
+/// its workers through the whole schedule without barriers — exactly as
+/// odgi-layout does — but each worker marks iteration boundaries as it
+/// crosses them, and the *last* worker past a boundary emits the
+/// aggregated IterationStats. Consequence: with threads > 1 on cpu-soa /
+/// cpu-aos the hook may fire on a worker thread (serialized, never
+/// concurrently), and its updates/skipped are the aggregate since the
+/// previous boundary rather than an exact per-iteration slice.
+///
+/// run() also feeds the telemetry layer (src/telemetry/): an `engine.run`
+/// stage span, per-iteration `engine.iteration_ns` histogram samples, and
+/// `engine.{runs,iterations,updates,skipped}` counters — all compiled out
+/// under -DPGL_TELEMETRY=OFF.
 class LayoutEngine {
 public:
     virtual ~LayoutEngine() = default;

@@ -43,6 +43,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "telemetry/telemetry.hpp"
+
 #if defined(__x86_64__)
 #include <immintrin.h>
 #endif
@@ -50,6 +52,14 @@
 namespace pgl::core {
 
 namespace {
+
+/// Per-apply tallies, accumulated in locals inside the group loops and
+/// flushed to the registry counters once per batch — the hot loop never
+/// touches a shared atomic per group.
+struct GroupTally {
+    std::uint64_t vector_groups = 0;    ///< groups applied via SIMD lanes
+    std::uint64_t fallback_groups = 0;  ///< conflict/tail groups via scalar
+};
 
 #if defined(__x86_64__)
 
@@ -130,7 +140,8 @@ __attribute__((target("avx2"))) inline bool group_conflict4(
 }
 
 __attribute__((target("avx2"))) void apply_avx2(const TermBatch& b, double eta,
-                                                float* x, float* y) {
+                                                float* x, float* y,
+                                                GroupTally& tally) {
     const std::size_t n = b.size();
     const double* dref_col = b.d_ref.data();
     const double* nudge_col = b.nudge.data();
@@ -173,15 +184,18 @@ __attribute__((target("avx2"))) void apply_avx2(const TermBatch& b, double eta,
             ii = _mm_blendv_epi8(ii, sent_i, hole);
             jj = _mm_blendv_epi8(jj, sent_j, hole);
             if (group_conflict4(ii, jj)) {
+                ++tally.fallback_groups;
                 apply_term_slots(b, base, base + 4, eta, x, y);
                 continue;
             }
             ii = gi;
             jj = gj;
         } else if (group_conflict4(ii, jj)) {
+            ++tally.fallback_groups;
             apply_term_slots(b, base, base + 4, eta, x, y);
             continue;
         }
+        ++tally.vector_groups;
 
         // Coordinate gathers straight off the index lanes (vgatherdps);
         // the indices are also spilled once (wide store, contained narrow
@@ -255,7 +269,10 @@ __attribute__((target("avx2"))) void apply_avx2(const TermBatch& b, double eta,
             }
         }
     }
-    if (base < n) apply_term_slots(b, base, n, eta, x, y);
+    if (base < n) {
+        ++tally.fallback_groups;
+        apply_term_slots(b, base, n, eta, x, y);
+    }
 }
 
 /// SSE2 blend (blendv is SSE4.1): mask lanes are all-ones or all-zeros.
@@ -263,7 +280,8 @@ inline __m128d sse2_blend(__m128d a, __m128d b, __m128d mask) noexcept {
     return _mm_or_pd(_mm_andnot_pd(mask, a), _mm_and_pd(mask, b));
 }
 
-void apply_sse2(const TermBatch& b, double eta, float* x, float* y) {
+void apply_sse2(const TermBatch& b, double eta, float* x, float* y,
+                GroupTally& tally) {
     const std::size_t n = b.size();
     const double* dref_col = b.d_ref.data();
     const double* nudge_col = b.nudge.data();
@@ -279,9 +297,11 @@ void apply_sse2(const TermBatch& b, double eta, float* x, float* y) {
         const GroupPlan<2> p = plan_group<2>(b, base);
         if (p.lanes == 0) continue;
         if (p.conflict) {
+            ++tally.fallback_groups;
             apply_term_slots(b, base, base + 2, eta, x, y);
             continue;
         }
+        ++tally.vector_groups;
         std::uint32_t gi[2], gj[2];
         for (int t = 0; t < 2; ++t) {
             const bool v = (p.lanes >> t) & 1u;
@@ -337,7 +357,10 @@ void apply_sse2(const TermBatch& b, double eta, float* x, float* y) {
             y[p.idx_j[t]] = lane(nyj, t);
         }
     }
-    if (base < n) apply_term_slots(b, base, n, eta, x, y);
+    if (base < n) {
+        ++tally.fallback_groups;
+        apply_term_slots(b, base, n, eta, x, y);
+    }
 }
 
 #endif  // defined(__x86_64__)
@@ -355,7 +378,14 @@ Isa detect_isa() noexcept {
 
 class SimdKernel final : public UpdateKernel {
 public:
-    SimdKernel() : isa_(detect_isa()) {}
+    SimdKernel()
+        : isa_(detect_isa()),
+          vector_groups_(telemetry::Registry::instance().counter(
+              "kernel.simd.vector_groups")),
+          fallback_groups_(telemetry::Registry::instance().counter(
+              "kernel.simd.scalar_fallback_groups")),
+          terms_(telemetry::Registry::instance().counter(
+              "kernel.simd.terms")) {}
 
     std::string_view name() const noexcept override { return "simd"; }
 
@@ -368,21 +398,30 @@ public:
     }
 
     void apply(const TermBatch& b, double eta, XYStore& store) const override {
+        GroupTally tally;
 #if defined(__x86_64__)
         if (isa_ == Isa::kAvx2) {
-            apply_avx2(b, eta, store.x(), store.y());
-            return;
+            apply_avx2(b, eta, store.x(), store.y(), tally);
+        } else if (isa_ == Isa::kSse2) {
+            apply_sse2(b, eta, store.x(), store.y(), tally);
+        } else {
+            ++tally.fallback_groups;
+            apply_term_slots(b, 0, b.size(), eta, store.x(), store.y());
         }
-        if (isa_ == Isa::kSse2) {
-            apply_sse2(b, eta, store.x(), store.y());
-            return;
-        }
-#endif
+#else
+        ++tally.fallback_groups;
         apply_term_slots(b, 0, b.size(), eta, store.x(), store.y());
+#endif
+        if (tally.vector_groups) vector_groups_.add(tally.vector_groups);
+        if (tally.fallback_groups) fallback_groups_.add(tally.fallback_groups);
+        terms_.add(b.size());
     }
 
 private:
     Isa isa_;
+    telemetry::Counter vector_groups_;
+    telemetry::Counter fallback_groups_;
+    telemetry::Counter terms_;
 };
 
 }  // namespace

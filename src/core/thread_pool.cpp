@@ -2,7 +2,12 @@
 
 namespace pgl::core {
 
-ThreadPool::ThreadPool(std::uint32_t n_threads) {
+ThreadPool::ThreadPool(std::uint32_t n_threads)
+    : dispatches_(telemetry::Registry::instance().counter("pool.dispatches")),
+      dispatch_wait_(
+          telemetry::Registry::instance().histogram("pool.dispatch_wait_ns")),
+      barrier_wait_(
+          telemetry::Registry::instance().histogram("pool.barrier_wait_ns")) {
     workers_.reserve(n_threads);
     for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
         workers_.emplace_back([this, tid] { worker_loop(tid); });
@@ -30,13 +35,18 @@ void ThreadPool::launch(Job job) {
         remaining_ = size();
         in_flight_ = true;
         ++generation_;
+        launch_ns_ = telemetry::now_ns();
     }
+    dispatches_.add(1);
     cv_work_.notify_all();
 }
 
 void ThreadPool::wait() {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (!in_flight_) return;
+    const std::uint64_t t0 = telemetry::now_ns();
     cv_done_.wait(lock, [this] { return !in_flight_; });
+    barrier_wait_.record(telemetry::now_ns() - t0);
 }
 
 void ThreadPool::worker_loop(std::uint32_t tid) {
@@ -48,6 +58,7 @@ void ThreadPool::worker_loop(std::uint32_t tid) {
         });
         if (stopping_) return;
         seen_generation = generation_;
+        dispatch_wait_.record(telemetry::now_ns() - launch_ns_);
         // job_ stays untouched until every worker checks in below, so
         // reading it by reference outside the lock is safe.
         const Job& job = job_;

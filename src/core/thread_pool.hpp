@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace pgl::core {
 
 /// Exact per-shard share of an iteration's N_steps: the remainder goes to
@@ -78,6 +80,15 @@ private:
     std::uint32_t remaining_ = 0;   ///< workers still running the current job
     bool in_flight_ = false;
     bool stopping_ = false;
+
+    // Telemetry handles resolved once at construction (registry lookups are
+    // mutex-protected; the per-dispatch path must not pay for them).
+    // `pool.dispatch_wait_ns` = launch-to-worker-pickup latency per worker;
+    // `pool.barrier_wait_ns` = time the caller blocks in wait().
+    telemetry::Counter dispatches_;
+    telemetry::Histogram dispatch_wait_;
+    telemetry::Histogram barrier_wait_;
+    std::uint64_t launch_ns_ = 0;  ///< guarded by mutex_
 };
 
 }  // namespace pgl::core

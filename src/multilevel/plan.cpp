@@ -9,6 +9,7 @@
 
 #include "core/layout.hpp"
 #include "multilevel/interpolate.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pgl::multilevel {
 
@@ -201,6 +202,12 @@ MultilevelResult run_plan(const LayoutPlan& plan, const graph::LeanGraph& fine,
     std::uint32_t level = 0;
     for (const Pass& p : plan.passes) {
         const auto t0 = clock::now();
+        // One stage span per pass: `span.coarsen` / `span.layout` /
+        // `span.interpolate` / `span.refine` aggregate across components
+        // under --partition, and the trace shows each pass nested inside
+        // its component/job span. PassTiming stays: bench_multilevel reads
+        // per-pass wall-clock from the result, not the process registry.
+        telemetry::StageSpan pass_span(pass_kind_name(p.kind), "multilevel");
         switch (p.kind) {
             case PassKind::kCoarsen: {
                 levels.push_back(coarsen(graph_at(level)));

@@ -1,7 +1,10 @@
 #include "partition/partition.hpp"
 
 #include <chrono>
+#include <memory>
 #include <utility>
+
+#include "telemetry/telemetry.hpp"
 
 namespace pgl::partition {
 
@@ -10,9 +13,17 @@ PartitionResult partition_layout(Decomposition d, const PartitionOptions& opt) {
     PartitionResult out;
     out.decomposition = std::move(d);
 
-    ComponentScheduler scheduler(opt.schedule);
-    if (opt.progress) scheduler.set_progress_hook(opt.progress);
-    out.component_results = scheduler.run(out.decomposition, &out.stages);
+    {
+        // The flat scheduling phase is this pipeline's "layout" stage; a
+        // multilevel run gets its layout stage from the per-pass spans in
+        // run_plan instead, so the span here only carries the trace name.
+        const char* span_name =
+            opt.schedule.multilevel ? "schedule" : "layout";
+        telemetry::StageSpan span(span_name, "partition");
+        ComponentScheduler scheduler(opt.schedule);
+        if (opt.progress) scheduler.set_progress_hook(opt.progress);
+        out.component_results = scheduler.run(out.decomposition);
+    }
 
     for (const core::LayoutResult& r : out.component_results) {
         out.updates += r.updates;
@@ -20,7 +31,11 @@ PartitionResult partition_layout(Decomposition d, const PartitionOptions& opt) {
         out.engine_seconds += r.seconds;
     }
     const auto t_stitch = std::chrono::steady_clock::now();
-    out.stitched = stitch(out.decomposition, out.component_results, opt.stitching);
+    {
+        telemetry::StageSpan span("stitch", "partition");
+        out.stitched =
+            stitch(out.decomposition, out.component_results, opt.stitching);
+    }
     out.stitch_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t_stitch)
             .count();

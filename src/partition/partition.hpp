@@ -29,8 +29,6 @@ struct PartitionResult {
     std::uint64_t skipped = 0;
     double engine_seconds = 0.0;  ///< summed engine wall-clock (CPU work)
     double seconds = 0.0;         ///< wall-clock of the whole pipeline
-    StageSeconds stages;          ///< per-stage seconds (multilevel runs;
-                                  ///< all zero for flat scheduling)
     double stitch_seconds = 0.0;  ///< wall-clock of the stitch pass
 };
 

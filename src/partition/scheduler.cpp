@@ -10,6 +10,7 @@
 #include "core/thread_pool.hpp"
 #include "rng/splitmix64.hpp"
 #include "rng/xoshiro256.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pgl::partition {
 
@@ -19,23 +20,14 @@ std::uint64_t component_seed(std::uint64_t base_seed,
     return mix.next();
 }
 
-void StageSeconds::add(const std::vector<multilevel::PassTiming>& timings) {
-    for (const multilevel::PassTiming& t : timings) {
-        switch (t.kind) {
-            case multilevel::PassKind::kCoarsen: coarsen += t.seconds; break;
-            case multilevel::PassKind::kLayout: layout += t.seconds; break;
-            case multilevel::PassKind::kInterpolate:
-                interpolate += t.seconds;
-                break;
-            case multilevel::PassKind::kRefine: refine += t.seconds; break;
-        }
-    }
-}
-
 core::LayoutResult run_component(const ComponentSubgraph& component,
                                  std::uint32_t component_id,
-                                 const SchedulerOptions& opt,
-                                 StageSeconds* stages) {
+                                 const SchedulerOptions& opt) {
+    // The component span carries the id in its category, so a trace shows
+    // one "component" span per component on whichever worker track ran it,
+    // with the engine/multilevel pass spans nested inside.
+    telemetry::StageSpan span("component",
+                              "c" + std::to_string(component_id));
     core::LayoutConfig cfg = opt.config;
     cfg.seed = component_seed(opt.config.seed, component_id);
 
@@ -56,7 +48,6 @@ core::LayoutResult run_component(const ComponentSubgraph& component,
             static_cast<double>(component.graph.max_path_nuc_length()));
         multilevel::MultilevelResult ml =
             multilevel::run_plan(plan, component.graph, *engine, cfg);
-        if (stages) stages->add(ml.timings);
         core::LayoutResult r;
         r.layout = std::move(ml.layout);
         r.updates = ml.updates;
@@ -69,7 +60,7 @@ core::LayoutResult run_component(const ComponentSubgraph& component,
 }
 
 std::vector<core::LayoutResult> ComponentScheduler::run(
-    const Decomposition& d, StageSeconds* stages) const {
+    const Decomposition& d) const {
     if (!core::EngineRegistry::instance().contains(opt_.backend)) {
         throw std::invalid_argument("unknown partition backend: " + opt_.backend);
     }
@@ -81,10 +72,7 @@ std::vector<core::LayoutResult> ComponentScheduler::run(
     const std::uint32_t n = d.count();
     std::vector<core::LayoutResult> results(n);
     if (n == 0) return results;
-    // Per-component stage timings accumulate into id-indexed slots and are
-    // summed after the pool drains, so the reported totals never depend on
-    // worker interleaving.
-    std::vector<StageSeconds> per_component(stages ? n : 0);
+    telemetry::Registry::instance().counter("partition.components").add(n);
 
     // Largest-first (LPT) order; ties broken by component id so the queue
     // order — though not the results, which land in id-indexed slots — is
@@ -105,8 +93,7 @@ std::vector<core::LayoutResult> ComponentScheduler::run(
             const std::uint32_t k = next.fetch_add(1, std::memory_order_relaxed);
             if (k >= n) return;
             const std::uint32_t c = order[k];
-            results[c] = run_component(d.components[c], c, opt_,
-                                       stages ? &per_component[c] : nullptr);
+            results[c] = run_component(d.components[c], c, opt_);
             const std::uint32_t done =
                 completed.fetch_add(1, std::memory_order_relaxed) + 1;
             if (hook_) {
@@ -128,14 +115,6 @@ std::vector<core::LayoutResult> ComponentScheduler::run(
     core::ThreadPool pool(opt_.workers <= 1 ? 0
                                             : std::min(opt_.workers, n));
     pool.run(work);
-    if (stages) {
-        for (const StageSeconds& s : per_component) {
-            stages->coarsen += s.coarsen;
-            stages->layout += s.layout;
-            stages->interpolate += s.interpolate;
-            stages->refine += s.refine;
-        }
-    }
     return results;
 }
 

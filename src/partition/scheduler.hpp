@@ -56,17 +56,6 @@ struct SchedulerOptions {
     multilevel::MultilevelOptions multilevel_opt;
 };
 
-/// Per-stage engine/wall seconds summed over components of a multilevel
-/// scheduler run (all zero for flat runs).
-struct StageSeconds {
-    double coarsen = 0.0;
-    double layout = 0.0;
-    double interpolate = 0.0;
-    double refine = 0.0;
-
-    void add(const std::vector<multilevel::PassTiming>& timings);
-};
-
 /// Lays out one component exactly as the scheduler would: a fresh engine of
 /// `opt.backend`, seeded with component_seed(opt.config.seed, component_id).
 /// A component whose lean graph has no sampleable path terms (zero total
@@ -74,10 +63,15 @@ struct StageSeconds {
 /// layout — the alias table cannot even be built for it. Exposed so tests
 /// can produce the standalone per-component runs the partitioned result
 /// must match byte-for-byte.
+///
+/// Each call runs under a telemetry `component` stage span (category
+/// "c<id>"), so multilevel pass seconds aggregate process-wide in the
+/// `span.coarsen` / `span.layout` / `span.interpolate` / `span.refine`
+/// histograms — the source `pgl_layout --timing` now reads instead of the
+/// retired StageSeconds out-parameter.
 core::LayoutResult run_component(const ComponentSubgraph& component,
                                  std::uint32_t component_id,
-                                 const SchedulerOptions& opt,
-                                 StageSeconds* stages = nullptr);
+                                 const SchedulerOptions& opt);
 
 /// Runs one engine per component across a ThreadPool of opt.workers.
 class ComponentScheduler {
@@ -89,11 +83,7 @@ public:
     const SchedulerOptions& options() const noexcept { return opt_; }
 
     /// Returns one LayoutResult per component, indexed by component id.
-    /// `stages`, when given, receives the per-stage seconds summed over
-    /// components in component-id order (deterministic sum, however the
-    /// workers raced).
-    std::vector<core::LayoutResult> run(const Decomposition& d,
-                                        StageSeconds* stages = nullptr) const;
+    std::vector<core::LayoutResult> run(const Decomposition& d) const;
 
 private:
     SchedulerOptions opt_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "io/lay_io.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pgl::serve {
 
@@ -84,9 +85,11 @@ std::string ArtifactCache::path_for(const std::string& key) const {
 
 std::optional<std::string> ArtifactCache::lookup(const std::string& key) {
     const std::string path = path_for(key);
+    auto& reg = telemetry::Registry::instance();
     std::error_code ec;
     if (!std::filesystem::exists(path, ec)) {
         ++misses_;
+        reg.counter("cache.misses").add(1);
         return std::nullopt;
     }
     try {
@@ -97,9 +100,12 @@ std::optional<std::string> ArtifactCache::lookup(const std::string& key) {
         std::filesystem::remove(path, ec);
         ++evictions_;
         ++misses_;
+        reg.counter("cache.evictions").add(1);
+        reg.counter("cache.misses").add(1);
         return std::nullopt;
     }
     ++hits_;
+    reg.counter("cache.hits").add(1);
     return path;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "serve/json.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pgl::serve {
 
@@ -77,6 +78,20 @@ std::uint64_t require_id(const JsonValue& req) {
     const JsonValue* id = req.find("id");
     if (!id) throw std::runtime_error("missing \"id\"");
     return id->as_uint();
+}
+
+/// Wire form of a telemetry histogram (counts exact, quantiles within the
+/// bucketing's 12.5% bound). All zeros when telemetry is compiled out.
+JsonValue histogram_json(const telemetry::Histogram& h) {
+    JsonObject o;
+    o["count"] = JsonValue(h.count());
+    o["sum_ns"] = JsonValue(h.sum());
+    o["min_ns"] = JsonValue(h.min());
+    o["max_ns"] = JsonValue(h.max());
+    o["p50_ns"] = JsonValue(h.quantile(0.50));
+    o["p95_ns"] = JsonValue(h.quantile(0.95));
+    o["p99_ns"] = JsonValue(h.quantile(0.99));
+    return JsonValue(std::move(o));
 }
 
 }  // namespace
@@ -244,6 +259,25 @@ std::string Daemon::handle_line(const std::string& line, bool& want_shutdown) {
             o["queued"] = JsonValue(std::uint64_t{s.queued});
             o["running"] = JsonValue(std::uint64_t{s.running});
             o["cache_evictions"] = JsonValue(server_.cache().evictions());
+            // Richer nested views; every flat key above is kept verbatim so
+            // existing stats consumers are untouched.
+            JsonObject cache;
+            cache["hits"] = JsonValue(server_.cache().hits());
+            cache["misses"] = JsonValue(server_.cache().misses());
+            cache["evictions"] = JsonValue(server_.cache().evictions());
+            o["cache"] = JsonValue(std::move(cache));
+            auto& reg = telemetry::Registry::instance();
+            o["queue_wait"] =
+                histogram_json(reg.histogram("serve.queue_wait_ns"));
+            o["run"] = histogram_json(reg.histogram("serve.run_ns"));
+            return JsonValue(std::move(o)).dump() + "\n";
+        }
+        if (cmd == "metrics") {
+            // The full process-wide registry snapshot (counters + histogram
+            // quantiles from every subsystem, not just serve).
+            JsonObject o;
+            o["ok"] = JsonValue(true);
+            o["telemetry"] = json_parse(telemetry::snapshot_json());
             return JsonValue(std::move(o)).dump() + "\n";
         }
         if (cmd == "shutdown") {

@@ -8,6 +8,7 @@
 #include "io/pgg_io.hpp"
 #include "multilevel/plan.hpp"
 #include "partition/partition.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pgl::serve {
 
@@ -32,7 +33,11 @@ const char* job_state_name(JobState s) noexcept {
 }
 
 Server::Server(ServerOptions opt)
-    : opt_(std::move(opt)), cache_(opt_.cache_dir) {
+    : opt_(std::move(opt)),
+      cache_(opt_.cache_dir),
+      queue_wait_hist_(telemetry::Registry::instance().histogram(
+          "serve.queue_wait_ns")),
+      run_hist_(telemetry::Registry::instance().histogram("serve.run_ns")) {
     if (opt_.workers == 0) opt_.workers = 1;
 }
 
@@ -108,8 +113,10 @@ std::uint64_t Server::submit(const JobRequest& r) {
     j.size = ec ? 0 : static_cast<std::uint64_t>(fsize);
     j.cancel_flag = std::make_shared<std::atomic<bool>>(false);
     j.submitted_at = std::chrono::steady_clock::now();
+    j.submitted_ns = telemetry::now_ns();
     jobs_.emplace(j.id, std::move(job));
     ++stats_.submitted;
+    telemetry::Registry::instance().counter("serve.submitted").add(1);
 
     // Fast path 1: the artifact already exists — done without an engine.
     if (auto hit = cache_.lookup(key)) {
@@ -127,6 +134,7 @@ std::uint64_t Server::submit(const JobRequest& r) {
         if (leader && !is_terminal(leader->state)) {
             leader->followers.push_back(j.id);
             ++stats_.dedup_joins;
+            telemetry::Registry::instance().counter("serve.dedup_joins").add(1);
             return j.id;
         }
     }
@@ -288,12 +296,19 @@ void Server::worker_loop() {
         ++stats_.running;
         const auto started = std::chrono::steady_clock::now();
         job->queue_seconds = seconds_between(job->submitted_at, started);
+        const std::uint64_t started_ns = telemetry::now_ns();
+        queue_wait_hist_.record(started_ns - job->submitted_ns);
+        // Queue waits go on their own async track (keyed by job id) so they
+        // can overlap the worker's job.run span without fighting its stack.
+        telemetry::Tracer::instance().record_async(
+            "job.queue", "serve", job->id, job->submitted_ns, started_ns);
 
         lock.unlock();
         execute(*job);
         lock.lock();
 
         --stats_.running;
+        run_hist_.record(telemetry::now_ns() - started_ns);
         job->run_seconds =
             seconds_between(started, std::chrono::steady_clock::now());
         if (!job->error.empty()) {
@@ -309,11 +324,20 @@ void Server::worker_loop() {
 
 void Server::execute(Job& job) {
     try {
-        core::Layout layout = run_job(job);
+        core::Layout layout;
+        {
+            telemetry::StageSpan span("job.run",
+                                      "job" + std::to_string(job.id));
+            layout = run_job(job);
+        }
         if (job.cancel_flag->load(std::memory_order_relaxed)) {
             return;  // partial layout: never published
         }
-        job.artifact = cache_.publish(job.key, layout);
+        {
+            telemetry::StageSpan span("job.publish",
+                                      "job" + std::to_string(job.id));
+            job.artifact = cache_.publish(job.key, layout);
+        }
         job.progress.store(1.0, std::memory_order_relaxed);
     } catch (const std::exception& e) {
         job.error = e.what();

@@ -41,6 +41,7 @@
 #include "graph/gfa_stream.hpp"
 #include "serve/cache.hpp"
 #include "serve/request.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pgl::serve {
 
@@ -139,6 +140,7 @@ private:
         bool cache_hit = false;
         std::vector<std::uint64_t> followers;  ///< same-key joiners
         std::chrono::steady_clock::time_point submitted_at{};
+        std::uint64_t submitted_ns = 0;  ///< telemetry clock at submit
         double queue_seconds = 0.0;
         double run_seconds = 0.0;
     };
@@ -175,6 +177,14 @@ private:
     bool started_ = false;
     bool stopping_ = false;
     ServerStats stats_;
+
+    /// Telemetry handles, resolved once in the constructor:
+    /// serve.queue_wait_ns (submit -> worker pickup) and serve.run_ns
+    /// (pickup -> terminal). The daemon's `stats` command serves their
+    /// quantiles; each job's queue wait also lands in the trace as a
+    /// "job.queue" async event.
+    telemetry::Histogram queue_wait_hist_;
+    telemetry::Histogram run_hist_;
 };
 
 }  // namespace pgl::serve

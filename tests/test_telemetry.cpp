@@ -1,0 +1,266 @@
+// Telemetry layer contracts: bucket boundaries, exact count/sum/min/max,
+// merge associativity, quantiles against a sorted-vector oracle (within the
+// bucketing's 12.5% relative-error bound), concurrent recording (exercised
+// under TSan in CI), registry handle identity, snapshot/trace exporter
+// shape. A PGL_TELEMETRY=OFF build compiles this file too: the enabled-only
+// tests skip, and the exporters must still produce valid empty documents.
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using pgl::telemetry::Histogram;
+using pgl::telemetry::Registry;
+using pgl::telemetry::StageSpan;
+using pgl::telemetry::Tracer;
+
+// Deterministic value stream (SplitMix64) so the oracle comparison never
+// flakes; spans ~16 orders of magnitude to hit every bucket regime.
+std::uint64_t mix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+#ifndef PGL_TELEMETRY_DISABLED
+
+TEST(HistogramBuckets, BoundariesContainTheirValues) {
+    // Every value must land in a bucket whose [lower, next lower) range
+    // contains it, and indices must be monotone in the value.
+    std::uint32_t prev_bucket = 0;
+    for (std::uint64_t v = 0; v < 4096; ++v) {
+        const std::uint32_t b = Histogram::bucket_index(v);
+        ASSERT_LT(b, Histogram::kNumBuckets);
+        ASSERT_GE(b, prev_bucket) << "bucket_index not monotone at " << v;
+        prev_bucket = b;
+        ASSERT_LE(Histogram::bucket_lower(b), v);
+        if (b + 1 < Histogram::kNumBuckets) {
+            ASSERT_LT(v, Histogram::bucket_lower(b + 1));
+        }
+    }
+    // Large values, including the extremes of the u64 range.
+    for (int shift = 12; shift < 64; ++shift) {
+        for (const std::uint64_t v :
+             {(std::uint64_t{1} << shift),
+              (std::uint64_t{1} << shift) + (std::uint64_t{1} << (shift - 2)),
+              (std::uint64_t{1} << shift) - 1}) {
+            const std::uint32_t b = Histogram::bucket_index(v);
+            ASSERT_LT(b, Histogram::kNumBuckets);
+            ASSERT_LE(Histogram::bucket_lower(b), v);
+            if (b + 1 < Histogram::kNumBuckets) {
+                ASSERT_LT(v, Histogram::bucket_lower(b + 1));
+            }
+        }
+    }
+}
+
+TEST(HistogramBuckets, WidthWithin12Point5Percent) {
+    // The quantile error bound rests on this: above the exact range every
+    // bucket's width is at most 1/8 of its lower bound.
+    for (std::uint32_t b = 16; b + 1 < Histogram::kNumBuckets; ++b) {
+        const std::uint64_t lo = Histogram::bucket_lower(b);
+        const std::uint64_t hi = Histogram::bucket_lower(b + 1);
+        ASSERT_GT(hi, lo) << "empty bucket " << b;
+        ASSERT_LE(hi - lo, lo / 8) << "bucket " << b << " too wide";
+    }
+}
+
+TEST(Histogram, CountSumMinMaxExact) {
+    const Histogram h =
+        Registry::instance().histogram("test.exact_stats_ns");
+    h.reset();
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : {7ull, 0ull, 123456789ull, 15ull, 16ull,
+                                  999999999999ull, 42ull}) {
+        h.record(v);
+        sum += v;
+    }
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.sum(), sum);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 999999999999ull);
+}
+
+TEST(Histogram, QuantilesMatchSortedOracle) {
+    const Histogram h = Registry::instance().histogram("test.oracle_ns");
+    h.reset();
+    std::uint64_t state = 42;
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 10000; ++i) {
+        // Mixed magnitudes: exact small values and wide log-range ones.
+        const std::uint64_t r = mix64(state);
+        values.push_back(r >> (r % 50));
+    }
+    for (const std::uint64_t v : values) h.record(v);
+    std::sort(values.begin(), values.end());
+
+    for (const double q : {0.0, 0.25, 0.50, 0.75, 0.95, 0.99, 1.0}) {
+        const double rank = q * static_cast<double>(values.size() - 1);
+        const double lo = static_cast<double>(
+            values[static_cast<std::size_t>(std::floor(rank))]);
+        const double hi = static_cast<double>(
+            values[static_cast<std::size_t>(std::ceil(rank))]);
+        const double est = h.quantile(q);
+        // est interpolates inside the bucket holding the rank'd sample, so
+        // it can undershoot lo / overshoot hi by at most one bucket width
+        // (12.5% relative; +1 absorbs the exact-bucket regime edge).
+        EXPECT_GE(est, lo / 1.125 - 1.0) << "q=" << q;
+        EXPECT_LE(est, hi * 1.125 + 1.0) << "q=" << q;
+    }
+}
+
+TEST(Histogram, MergeIsAssociativeAndExact) {
+    auto& reg = Registry::instance();
+    const Histogram a = reg.histogram("test.merge_a");
+    const Histogram b = reg.histogram("test.merge_b");
+    const Histogram c = reg.histogram("test.merge_c");
+    const Histogram left = reg.histogram("test.merge_left");
+    const Histogram right = reg.histogram("test.merge_right");
+    for (const Histogram& h : {a, b, c, left, right}) h.reset();
+
+    std::uint64_t state = 7;
+    for (int i = 0; i < 300; ++i) a.record(mix64(state) >> 40);
+    for (int i = 0; i < 200; ++i) b.record(mix64(state) >> 20);
+    for (int i = 0; i < 100; ++i) c.record(mix64(state) >> 4);
+
+    // (a + b) + c
+    left.merge_from(a);
+    left.merge_from(b);
+    left.merge_from(c);
+    // a + (b + c): merge b and c into a scratch first.
+    const Histogram bc = reg.histogram("test.merge_bc");
+    bc.reset();
+    bc.merge_from(b);
+    bc.merge_from(c);
+    right.merge_from(a);
+    right.merge_from(bc);
+
+    EXPECT_EQ(left.count(), 600u);
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_EQ(left.sum(), right.sum());
+    EXPECT_EQ(left.sum(), a.sum() + b.sum() + c.sum());
+    EXPECT_EQ(left.min(), right.min());
+    EXPECT_EQ(left.max(), right.max());
+    for (const double q : {0.01, 0.5, 0.95, 0.99}) {
+        EXPECT_DOUBLE_EQ(left.quantile(q), right.quantile(q)) << "q=" << q;
+    }
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+    const Histogram h = Registry::instance().histogram("test.concurrent_ns");
+    h.reset();
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 20000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&h, t] {
+            const Histogram mine =
+                Registry::instance().histogram("test.concurrent_ns");
+            std::uint64_t state = 1000 + static_cast<std::uint64_t>(t);
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                (i % 2 ? h : mine).record(mix64(state) >> 32);
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+    EXPECT_GT(h.sum(), 0u);
+}
+
+TEST(Counter, HandlesAliasTheSameSlot) {
+    auto& reg = Registry::instance();
+    const auto c1 = reg.counter("test.alias");
+    c1.reset();
+    const auto c2 = reg.counter("test.alias");
+    c1.add(3);
+    c2.add(4);
+    EXPECT_EQ(c1.value(), 7u);
+    EXPECT_EQ(c2.value(), 7u);
+}
+
+TEST(StageSpan, FeedsSpanHistogram) {
+    const Histogram h = Registry::instance().histogram("span.test_stage");
+    h.reset();
+    {
+        StageSpan span("test_stage", "test");
+        EXPECT_GE(span.elapsed_ns(), 0u);
+    }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GT(h.sum(), 0u);
+}
+
+TEST(Snapshot, ContainsRecordedMetrics) {
+    Registry::instance().counter("test.snapshot_counter").add(5);
+    Registry::instance().histogram("test.snapshot_hist").record(100);
+    const std::string json = pgl::telemetry::snapshot_json();
+    EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"test.snapshot_counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.snapshot_hist\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(Trace, WriterEmitsSpansWhenEnabled) {
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(true);
+    {
+        StageSpan span("trace_test_span", "test");
+    }
+    Tracer::instance().set_enabled(false);
+    const std::string path = "test_telemetry_trace.json";
+    ASSERT_TRUE(pgl::telemetry::write_chrome_trace(path));
+    const std::string doc = read_file(path);
+    std::remove(path.c_str());
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"trace_test_span\""), std::string::npos);
+    EXPECT_NE(doc.find("\"telemetryEnabled\":true"), std::string::npos);
+}
+
+#else  // PGL_TELEMETRY_DISABLED
+
+TEST(TelemetryDisabled, ExportersStillEmitValidDocuments) {
+    const std::string snap = pgl::telemetry::snapshot_json();
+    EXPECT_NE(snap.find("\"enabled\":false"), std::string::npos);
+
+    const std::string path = "test_telemetry_trace_off.json";
+    ASSERT_TRUE(pgl::telemetry::write_chrome_trace(path));
+    const std::string doc = read_file(path);
+    std::remove(path.c_str());
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"telemetryEnabled\":false"), std::string::npos);
+}
+
+TEST(TelemetryDisabled, ApiIsInertButCallable) {
+    const auto c = pgl::telemetry::Registry::instance().counter("test.off");
+    c.add(10);
+    EXPECT_EQ(c.value(), 0u);
+    const auto h =
+        pgl::telemetry::Registry::instance().histogram("test.off_ns");
+    h.record(123);
+    EXPECT_EQ(h.count(), 0u);
+    pgl::telemetry::StageSpan span("off_span");
+    EXPECT_EQ(span.elapsed_ns(), 0u);
+}
+
+#endif  // PGL_TELEMETRY_DISABLED
+
+}  // namespace

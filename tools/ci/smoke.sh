@@ -10,6 +10,7 @@
 #   kernels     every backend x every update kernel, scalar-vs-simd cmp
 #   ingest      GFA -> .pgg cache -> byte-identical partitioned layout
 #   multilevel  --multilevel reaches flat stress in less SGD wall-clock
+#   telemetry   --trace writes valid JSON with nonzero engine counters
 #
 # The listing contract is strict on purpose: an empty or failing
 # `--list-backends` / `--list-kernels` fails the suite, never silently
@@ -18,7 +19,7 @@ set -euo pipefail
 
 if [ $# -lt 2 ]; then
     echo "usage: $0 BUILD_DIR SUITE [SUITE...]" >&2
-    echo "suites: backends kernels ingest multilevel" >&2
+    echo "suites: backends kernels ingest multilevel telemetry" >&2
     exit 2
 fi
 
@@ -150,12 +151,47 @@ assert ml_wall < flat_wall, "multilevel SGD wall not below flat"
 EOF
 }
 
+suite_telemetry() {
+    # The observability contract end to end: a partitioned multilevel run
+    # with --trace must emit parseable Chrome-trace JSON whose embedded
+    # registry snapshot shows the engines actually counted work, and the
+    # trace must not perturb the layout (byte-compared against a run
+    # without --trace).
+    ensure_genome
+    "${PGL}" -i "${GENOME}" -o "${WORKDIR}/telemetry_plain.lay" \
+        --partition --component-workers 2 --multilevel \
+        --iters 3 --factor 0.5
+    "${PGL}" -i "${GENOME}" -o "${WORKDIR}/telemetry_traced.lay" \
+        --partition --component-workers 2 --multilevel \
+        --iters 3 --factor 0.5 --timing --trace "${WORKDIR}/telemetry.json"
+    cmp "${WORKDIR}/telemetry_plain.lay" "${WORKDIR}/telemetry_traced.lay"
+    echo "--trace does not perturb the layout (byte-identical)"
+    TRACE="${WORKDIR}/telemetry.json" python3 - <<'EOF'
+import json
+import os
+
+doc = json.load(open(os.environ["TRACE"]))
+events = doc["traceEvents"]
+assert doc.get("telemetryEnabled", False), "telemetry compiled out in CI build"
+assert events, "trace has no events"
+counters = doc["telemetry"]["counters"]
+for name in ("engine.runs", "engine.updates", "partition.components"):
+    assert counters.get(name, 0) > 0, f"counter {name} is zero"
+names = {e.get("name") for e in events}
+for span in ("parse", "coarsen", "layout", "interpolate", "refine", "render"):
+    assert span in names, f"missing span {span!r}"
+print(f"{len(events)} trace events, "
+      f"{counters['engine.updates']} engine updates OK")
+EOF
+}
+
 for suite in "$@"; do
     case "${suite}" in
         backends) suite_backends ;;
         kernels) suite_kernels ;;
         ingest) suite_ingest ;;
         multilevel) suite_multilevel ;;
+        telemetry) suite_telemetry ;;
         *)
             echo "unknown suite: ${suite}" >&2
             exit 2

@@ -11,7 +11,8 @@
 //              [--partition] [--component-workers N] [--per-component-out DIR]
 //              [--multilevel[=LEVELS]] [--refine-iters N] [--exact-tail]
 //              [--svg out.svg] [--ppm out.ppm] [--stress] [--cdl]
-//              [--progress] [--timing] [--list-backends] [--list-kernels]
+//              [--progress] [--timing] [--trace out.json]
+//              [--list-backends] [--list-kernels]
 //
 // Ingestion streams GFA 1.0/1.1 (S/L/P/W records, CRLF tolerant) directly
 // into the engine-ready LeanGraph — the rich VariationGraph is never
@@ -49,6 +50,7 @@
 #include "metrics/path_stress.hpp"
 #include "multilevel/plan.hpp"
 #include "partition/partition.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -85,6 +87,8 @@ void usage(const char* argv0) {
         << "  --progress          print per-iteration (or, with --partition,\n"
         << "                      per-component) progress to stderr\n"
         << "  --timing            print a per-stage wall-clock summary to stderr\n"
+        << "  --trace FILE        write a Chrome trace-event JSON of the run\n"
+        << "                      (load in chrome://tracing or Perfetto)\n"
         << "  --list-backends     list registered engines and exit\n"
         << "  --list-kernels      list registered update kernels and exit\n";
 }
@@ -135,7 +139,7 @@ double parse_double_or_die(const std::string& flag, const char* text) {
 int main(int argc, char** argv) {
     using namespace pgl;
     std::string in_path, out_path, svg_path, ppm_path, backend, gpu_name;
-    std::string per_component_dir, save_graph_path, load_graph_path;
+    std::string per_component_dir, save_graph_path, load_graph_path, trace_path;
     bool report_stress = false, progress = false, partition_run = false;
     bool timing = false, multilevel_run = false;
     std::uint32_t component_workers = 1;
@@ -237,6 +241,8 @@ int main(int argc, char** argv) {
             progress = true;
         } else if (arg == "--timing") {
             timing = true;
+        } else if (arg == "--trace") {
+            trace_path = next();
         } else if (arg == "-h" || arg == "--help") {
             usage(argv[0]);
             return 0;
@@ -292,16 +298,19 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    double t_load = 0.0, t_coarsen = 0.0, t_layout = 0.0, t_interpolate = 0.0,
-           t_refine = 0.0, t_stitch = 0.0, t_metrics = 0.0, t_render = 0.0;
+    // --trace captures every stage span of this run; enable before any work
+    // so nothing is missed.
+    if (!trace_path.empty()) telemetry::Tracer::instance().set_enabled(true);
+
     const auto t_start = std::chrono::steady_clock::now();
     try {
-        auto t0 = std::chrono::steady_clock::now();
         // Streams GFA (or loads the .pgg cache — decided by extension)
         // straight into the LeanGraph; no VariationGraph is built.
-        graph::LeanIngest ingest =
-            !load_graph_path.empty() ? io::read_pgg_file(load_graph_path)
-                                     : io::load_graph_file(in_path);
+        graph::LeanIngest ingest = [&] {
+            telemetry::StageSpan span("parse", "cli");
+            return !load_graph_path.empty() ? io::read_pgg_file(load_graph_path)
+                                            : io::load_graph_file(in_path);
+        }();
         const graph::LeanGraph& g = ingest.graph;
         std::cerr << "loaded " << g.node_count() << " nodes, " << g.path_count()
                   << " paths, " << g.total_path_steps() << " steps, "
@@ -311,11 +320,9 @@ int main(int argc, char** argv) {
             std::cerr << "wrote graph cache " << save_graph_path << "\n";
             if (convert_only) return 0;
         }
-        t_load = seconds_since(t0);
 
         core::Layout final_layout;
         partition::PartitionResult part;
-        t0 = std::chrono::steady_clock::now();
         if (partition_run) {
             partition::PartitionOptions popt;
             popt.schedule.backend = backend;
@@ -340,15 +347,6 @@ int main(int argc, char** argv) {
                       << part.stitched.width << " x " << part.stitched.height
                       << "\n";
             final_layout = part.stitched.layout;
-            t_stitch = part.stitch_seconds;
-            if (multilevel_run) {
-                t_coarsen = part.stages.coarsen;
-                t_layout = part.stages.layout;
-                t_interpolate = part.stages.interpolate;
-                t_refine = part.stages.refine;
-            } else {
-                t_layout = part.seconds - part.stitch_seconds;
-            }
         } else {
             // `--gpu=a100` needs a non-default machine spec, so it constructs
             // the engine directly; every registered name goes via the
@@ -382,78 +380,83 @@ int main(int argc, char** argv) {
                 }
                 std::cerr << " nodes): " << ml.updates << " updates in "
                           << ml.engine_seconds << " s\n";
-                for (const multilevel::PassTiming& t : ml.timings) {
-                    switch (t.kind) {
-                        case multilevel::PassKind::kCoarsen:
-                            t_coarsen += t.seconds;
-                            break;
-                        case multilevel::PassKind::kLayout:
-                            t_layout += t.seconds;
-                            break;
-                        case multilevel::PassKind::kInterpolate:
-                            t_interpolate += t.seconds;
-                            break;
-                        case multilevel::PassKind::kRefine:
-                            t_refine += t.seconds;
-                            break;
-                    }
-                }
                 final_layout = std::move(ml.layout);
             } else {
+                // The multilevel path gets its layout stage from run_plan's
+                // per-pass spans; only the flat run is timed here.
+                telemetry::StageSpan span("layout", "cli");
                 engine->init(g, cfg);
                 auto r = engine->run();
                 std::cerr << engine->name() << ": " << r.updates
                           << " updates in " << r.seconds << " s\n";
                 final_layout = std::move(r.layout);
-                t_layout = seconds_since(t0);
             }
         }
 
-        t0 = std::chrono::steady_clock::now();
-        io::write_layout_file(final_layout, out_path);
-        std::cerr << "wrote " << out_path << "\n";
-        if (!per_component_dir.empty()) {
-            std::filesystem::create_directories(per_component_dir);
-            for (std::uint32_t c = 0; c < part.decomposition.count(); ++c) {
-                const std::string path = per_component_dir + "/component_" +
-                                         std::to_string(c) + ".lay";
-                io::write_layout_file(part.component_results[c].layout, path);
+        {
+            telemetry::StageSpan span("render", "cli");
+            io::write_layout_file(final_layout, out_path);
+            std::cerr << "wrote " << out_path << "\n";
+            if (!per_component_dir.empty()) {
+                std::filesystem::create_directories(per_component_dir);
+                for (std::uint32_t c = 0; c < part.decomposition.count(); ++c) {
+                    const std::string path = per_component_dir + "/component_" +
+                                             std::to_string(c) + ".lay";
+                    io::write_layout_file(part.component_results[c].layout, path);
+                }
+                std::cerr << "wrote " << part.decomposition.count()
+                          << " per-component layouts to " << per_component_dir
+                          << "\n";
             }
-            std::cerr << "wrote " << part.decomposition.count()
-                      << " per-component layouts to " << per_component_dir
-                      << "\n";
+            if (!svg_path.empty()) {
+                draw::write_svg_file(g, final_layout, svg_path);
+                std::cerr << "wrote " << svg_path << "\n";
+            }
+            if (!ppm_path.empty()) {
+                draw::write_ppm_file(final_layout, ppm_path);
+                std::cerr << "wrote " << ppm_path << "\n";
+            }
         }
-        if (!svg_path.empty()) {
-            draw::write_svg_file(g, final_layout, svg_path);
-            std::cerr << "wrote " << svg_path << "\n";
-        }
-        if (!ppm_path.empty()) {
-            draw::write_ppm_file(final_layout, ppm_path);
-            std::cerr << "wrote " << ppm_path << "\n";
-        }
-        t_render = seconds_since(t0);
 
         if (report_stress) {
-            t0 = std::chrono::steady_clock::now();
-            const auto sps = metrics::sampled_path_stress(g, final_layout);
-            t_metrics = seconds_since(t0);
+            const auto sps = [&] {
+                telemetry::StageSpan span("metrics", "cli");
+                return metrics::sampled_path_stress(g, final_layout);
+            }();
             std::cout << "sampled path stress: " << sps.value << " ["
                       << sps.ci_low << ", " << sps.ci_high << "] over "
                       << sps.terms << " terms\n";
         }
         if (timing) {
-            // One stage per line, machine-parseable ("timing: <stage> <s> s").
-            // Multilevel stage lines are summed across components under
-            // --partition, so they can exceed wall-clock with workers > 1.
-            std::cerr << "timing: parse " << t_load << " s\n"
-                      << "timing: coarsen " << t_coarsen << " s\n"
-                      << "timing: layout " << t_layout << " s\n"
-                      << "timing: interpolate " << t_interpolate << " s\n"
-                      << "timing: refine " << t_refine << " s\n"
-                      << "timing: stitch " << t_stitch << " s\n"
-                      << "timing: metrics " << t_metrics << " s\n"
-                      << "timing: render " << t_render << " s\n"
-                      << "timing: total " << seconds_since(t_start) << " s\n";
+#ifndef PGL_TELEMETRY_DISABLED
+            // One stage per line, machine-parseable ("timing: <stage> <s> s"),
+            // all read from the telemetry span histograms so every run mode —
+            // flat, --partition, --multilevel, or combinations — reports
+            // through the same path. Stage sums aggregate across components,
+            // so they can exceed wall-clock with --component-workers > 1.
+            auto& reg = telemetry::Registry::instance();
+            for (const char* stage :
+                 {"parse", "coarsen", "layout", "interpolate", "refine",
+                  "stitch", "metrics", "render"}) {
+                const double s =
+                    static_cast<double>(
+                        reg.histogram(std::string("span.") + stage).sum()) /
+                    1e9;
+                std::cerr << "timing: " << stage << " " << s << " s\n";
+            }
+#else
+            std::cerr << "timing: stage spans compiled out (PGL_TELEMETRY=OFF)\n";
+#endif
+            std::cerr << "timing: total " << seconds_since(t_start) << " s\n";
+        }
+        if (!trace_path.empty()) {
+            if (telemetry::write_chrome_trace(trace_path)) {
+                std::cerr << "wrote trace " << trace_path << "\n";
+            } else {
+                std::cerr << "error: failed to write trace " << trace_path
+                          << "\n";
+                return 1;
+            }
         }
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";

@@ -34,6 +34,7 @@
 
 #include "serve/daemon.hpp"
 #include "serve/json.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -52,6 +53,8 @@ void usage(const char* argv0) {
         << "    --cache-dir DIR     artifact cache directory (default .pgl-cache)\n"
         << "    --workers N         concurrent layout jobs (default 2)\n"
         << "    --graph-cache N     parsed graphs kept in memory (default 4)\n"
+        << "    --trace FILE        write a Chrome trace of the daemon's\n"
+        << "                        lifetime (job spans + queue waits) on exit\n"
         << "  submit    submit a layout job\n"
         << "    --socket PATH --graph FILE [--backend NAME] [--kernel NAME]\n"
         << "    [--iters N] [--factor F] [--threads N] [--seed N]\n"
@@ -61,6 +64,7 @@ void usage(const char* argv0) {
         << "  status    --socket PATH --id N\n"
         << "  cancel    --socket PATH --id N\n"
         << "  stats     --socket PATH\n"
+        << "  metrics   --socket PATH        full telemetry snapshot\n"
         << "  ping      --socket PATH\n"
         << "  shutdown  --socket PATH\n"
         << "  request   --socket PATH JSON   send one raw protocol line\n";
@@ -101,6 +105,7 @@ int roundtrip(const std::string& socket_path, const std::string& line) {
 int cmd_serve(int argc, char** argv) {
     pgl::serve::DaemonOptions opt;
     opt.socket_path.clear();
+    std::string trace_path;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
@@ -119,6 +124,8 @@ int cmd_serve(int argc, char** argv) {
         } else if (arg == "--graph-cache") {
             opt.server.graph_cache_entries =
                 parse_int_or_die<std::uint32_t>(arg, next());
+        } else if (arg == "--trace") {
+            trace_path = next();
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return 2;
@@ -128,6 +135,9 @@ int cmd_serve(int argc, char** argv) {
         std::cerr << "serve requires --socket PATH\n";
         return 2;
     }
+    if (!trace_path.empty()) {
+        pgl::telemetry::Tracer::instance().set_enabled(true);
+    }
     pgl::serve::Daemon daemon(std::move(opt));
     g_daemon = &daemon;
     std::signal(SIGINT, on_signal);
@@ -136,6 +146,14 @@ int cmd_serve(int argc, char** argv) {
     daemon.run();
     g_daemon = nullptr;
     std::cerr << "pgl-serve: stopped\n";
+    if (!trace_path.empty()) {
+        if (pgl::telemetry::write_chrome_trace(trace_path)) {
+            std::cerr << "wrote trace " << trace_path << "\n";
+        } else {
+            std::cerr << "error: failed to write trace " << trace_path << "\n";
+            return 1;
+        }
+    }
     return 0;
 }
 
@@ -317,6 +335,7 @@ int main(int argc, char** argv) {
         if (cmd == "status") return cmd_simple(argc, argv, "status", true);
         if (cmd == "cancel") return cmd_simple(argc, argv, "cancel", true);
         if (cmd == "stats") return cmd_simple(argc, argv, "stats", false);
+        if (cmd == "metrics") return cmd_simple(argc, argv, "metrics", false);
         if (cmd == "ping") return cmd_simple(argc, argv, "ping", false);
         if (cmd == "shutdown") return cmd_simple(argc, argv, "shutdown", false);
         if (cmd == "request") return cmd_request(argc, argv);
