@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,6 +42,21 @@ struct LayoutResult {
     std::uint64_t skipped = 0;        ///< degenerate terms (d_ref == 0 etc.)
     std::vector<double> eta_schedule; ///< learning rate used per iteration
 };
+
+/// The degenerate-graph rule shared by every execution path — flat runs,
+/// the multilevel plan interpreter, and both partition executors: a graph
+/// with zero sampleable path terms has an empty SGD objective (the alias
+/// table cannot even be built), so the seeded initial layout IS the final
+/// layout. Returns an engaged zero-update result for such graphs and
+/// nullopt when there is work to do. Defined once so the fallback's RNG
+/// stream (make_initial_layout's salted seed) cannot drift between paths.
+inline std::optional<LayoutResult> empty_objective_result(
+    const graph::LeanGraph& g, const LayoutConfig& cfg) {
+    if (g.total_path_steps() != 0) return std::nullopt;
+    LayoutResult r;
+    r.layout = make_initial_layout(g, cfg);
+    return r;
+}
 
 /// Per-iteration progress snapshot passed to the progress hook.
 struct IterationStats {

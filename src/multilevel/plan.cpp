@@ -184,10 +184,8 @@ MultilevelResult run_plan(const LayoutPlan& plan, const graph::LeanGraph& fine,
     MultilevelResult out;
     out.level_nodes.push_back(fine.node_count());
 
-    // Mirror the partition scheduler's degenerate-graph rule: nothing to
-    // sample means the linear initial layout *is* the layout.
-    if (fine.total_path_steps() == 0) {
-        out.layout = core::make_initial_layout(fine, cfg);
+    if (auto done = core::empty_objective_result(fine, cfg)) {
+        out.layout = std::move(done->layout);
         return out;
     }
 

@@ -1,0 +1,222 @@
+#include "partition/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <system_error>
+
+#include "core/config_canon.hpp"
+#include "core/thread_pool.hpp"
+#include "multilevel/plan.hpp"
+
+namespace pgl::partition {
+
+core::LayoutResult run_component_graph(const graph::LeanGraph& g,
+                                       const SchedulerOptions& opt) {
+    const core::LayoutConfig& cfg = opt.config;
+    if (auto done = core::empty_objective_result(g, cfg)) {
+        return std::move(*done);
+    }
+    auto engine = core::make_engine(opt.backend);
+    if (opt.multilevel) {
+        const multilevel::LayoutPlan plan = multilevel::build_plan(
+            cfg, opt.multilevel_opt,
+            static_cast<double>(g.max_path_nuc_length()));
+        multilevel::MultilevelResult ml =
+            multilevel::run_plan(plan, g, *engine, cfg);
+        core::LayoutResult r;
+        r.layout = std::move(ml.layout);
+        r.updates = ml.updates;
+        r.skipped = ml.skipped;
+        r.seconds = ml.engine_seconds;
+        return r;
+    }
+    engine->init(g, cfg);
+    return engine->run();
+}
+
+std::string encode_worker_spec(const SchedulerOptions& opt,
+                               std::uint64_t mixed_seed) {
+    core::LayoutConfig cfg = opt.config;
+    cfg.seed = mixed_seed;
+    std::string s = "backend=" + opt.backend + ";";
+    s += core::canonical_config(cfg);
+    s += "multilevel=";
+    s += std::to_string(opt.multilevel ? opt.multilevel_opt.levels : 0u);
+    s += ';';
+    if (opt.multilevel) {
+        s += "ml.coarse_iters=" +
+             std::to_string(opt.multilevel_opt.coarse_iters) + ";";
+        s += "ml.refine_iters=" +
+             std::to_string(opt.multilevel_opt.refine_iters) + ";";
+        s += "ml.refine_eta=" +
+             core::canonical_double(opt.multilevel_opt.refine_eta) + ";";
+        s += "ml.exact_tail=";
+        s += opt.multilevel_opt.exact_tail ? '1' : '0';
+        s += ';';
+    }
+    return s;
+}
+
+namespace {
+
+template <typename T>
+T parse_spec_number(std::string_view name, std::string_view value) {
+    T v{};
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), v);
+    if (ec != std::errc() || ptr != value.data() + value.size()) {
+        throw std::invalid_argument("worker spec field " + std::string(name) +
+                                    " has a malformed value: '" +
+                                    std::string(value) + "'");
+    }
+    return v;
+}
+
+}  // namespace
+
+SchedulerOptions parse_worker_spec(std::string_view spec) {
+    SchedulerOptions opt;
+    opt.workers = 1;
+    opt.executor = "thread";
+    while (!spec.empty()) {
+        const std::size_t semi = spec.find(';');
+        if (semi == std::string_view::npos) {
+            throw std::invalid_argument("worker spec is not ';'-terminated: '" +
+                                        std::string(spec) + "'");
+        }
+        const std::string_view field = spec.substr(0, semi);
+        spec.remove_prefix(semi + 1);
+        const std::size_t eq = field.find('=');
+        if (eq == std::string_view::npos) {
+            throw std::invalid_argument("worker spec field without '=': '" +
+                                        std::string(field) + "'");
+        }
+        const std::string_view name = field.substr(0, eq);
+        const std::string_view value = field.substr(eq + 1);
+        if (name == "backend") {
+            opt.backend = std::string(value);
+        } else if (name == "multilevel") {
+            const auto levels = parse_spec_number<std::uint32_t>(name, value);
+            opt.multilevel = levels != 0;
+            if (levels != 0) opt.multilevel_opt.levels = levels;
+        } else if (name == "ml.coarse_iters") {
+            opt.multilevel_opt.coarse_iters =
+                parse_spec_number<std::uint32_t>(name, value);
+        } else if (name == "ml.refine_iters") {
+            opt.multilevel_opt.refine_iters =
+                parse_spec_number<std::uint32_t>(name, value);
+        } else if (name == "ml.refine_eta") {
+            opt.multilevel_opt.refine_eta =
+                parse_spec_number<double>(name, value);
+        } else if (name == "ml.exact_tail") {
+            opt.multilevel_opt.exact_tail =
+                parse_spec_number<std::uint32_t>(name, value) != 0;
+        } else if (!core::apply_canonical_field(opt.config, name, value)) {
+            throw std::invalid_argument("unknown worker spec field: " +
+                                        std::string(name));
+        }
+    }
+    return opt;
+}
+
+namespace {
+
+/// The historical in-process mechanism: a work-stealing loop over the
+/// largest-first order across a core::ThreadPool. Moved verbatim from
+/// ComponentScheduler::run, so "thread" is byte- and schedule-identical
+/// to every release before the executor seam existed.
+class ThreadExecutor final : public Executor {
+public:
+    std::string_view name() const noexcept override { return "thread"; }
+
+    std::vector<core::LayoutResult> run(
+        const Decomposition& d, const SchedulerOptions& opt,
+        const ComponentHook& hook) const override {
+        const std::uint32_t n = d.count();
+        std::vector<core::LayoutResult> results(n);
+
+        // Largest-first (LPT) order; ties broken by component id so the
+        // queue order — though not the results, which land in id-indexed
+        // slots — is deterministic too.
+        std::vector<std::uint32_t> order(n);
+        std::iota(order.begin(), order.end(), 0u);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return d.components[a].graph.node_count() >
+                                    d.components[b].graph.node_count();
+                         });
+
+        std::atomic<std::uint32_t> next{0};
+        std::atomic<std::uint32_t> completed{0};
+        std::mutex hook_mutex;
+        const auto work = [&](std::uint32_t) {
+            for (;;) {
+                const std::uint32_t k =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (k >= n) return;
+                const std::uint32_t c = order[k];
+                results[c] = run_component(d.components[c], c, opt);
+                const std::uint32_t done =
+                    completed.fetch_add(1, std::memory_order_relaxed) + 1;
+                if (hook) {
+                    ComponentProgress p;
+                    p.component = c;
+                    p.completed = done;
+                    p.total = n;
+                    p.nodes = d.components[c].graph.node_count();
+                    p.updates = results[c].updates;
+                    p.seconds = results[c].seconds;
+                    std::lock_guard<std::mutex> lock(hook_mutex);
+                    hook(p);
+                }
+            }
+        };
+
+        // A pool of size 0 runs the job inline on the caller — the right
+        // degenerate form for workers <= 1 (no pool thread, no sync cost).
+        core::ThreadPool pool(opt.workers <= 1 ? 0
+                                               : std::min(opt.workers, n));
+        pool.run(work);
+        return results;
+    }
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Executor> make_thread_executor() {
+    return std::make_unique<ThreadExecutor>();
+}
+
+}  // namespace detail
+
+ExecutorRegistry& ExecutorRegistry::instance() {
+    static ExecutorRegistry registry = [] {
+        ExecutorRegistry r;
+        r.add("thread", [] { return detail::make_thread_executor(); });
+        r.add("process", [] { return detail::make_process_executor(); });
+        return r;
+    }();
+    return registry;
+}
+
+std::unique_ptr<Executor> make_executor(const std::string& name) {
+    auto exec = ExecutorRegistry::instance().create(name);
+    if (!exec) {
+        std::string msg = "unknown partition executor \"" + name +
+                          "\"; available:";
+        for (const auto& n : ExecutorRegistry::instance().names()) {
+            msg += ' ';
+            msg += n;
+        }
+        throw std::invalid_argument(msg);
+    }
+    return exec;
+}
+
+}  // namespace pgl::partition

@@ -1,0 +1,107 @@
+#pragma once
+// Pluggable component-executor layer — how a partitioned run actually
+// spends its parallelism. The ComponentScheduler owns policy (validation,
+// largest-first order, id-indexed result slots, progress aggregation
+// inputs); an Executor owns mechanism: given the decomposition and the
+// scheduler options, produce one LayoutResult per component. Two
+// implementations are registered:
+//
+//   "thread"   components run on a core::ThreadPool inside this process —
+//              the historical behaviour, byte for byte.
+//   "process"  components are farmed to child `pgl_layout
+//              --component-worker` processes (fork/exec) over the existing
+//              .pgg/.lay file formats plus a length-prefixed status pipe.
+//              Same largest-first admission, bounded by
+//              SchedulerOptions::processes; a crashed child fails only its
+//              component. See process_executor.cpp for the protocol.
+//
+// Determinism contract (both executors, enforced by ctest): for a fixed
+// (seed, backend, engine threads) the per-component byte streams are
+// identical regardless of executor, worker/process count, or completion
+// order — every component is laid out by run_component_graph with the same
+// mixed seed, in-process or in a child.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/registry.hpp"
+#include "partition/components.hpp"
+#include "partition/scheduler.hpp"
+
+namespace pgl::partition {
+
+/// The one per-component layout leaf both executors (and the worker
+/// process) execute: pathless graphs short-circuit through
+/// core::empty_objective_result, otherwise a fresh `opt.backend` engine
+/// runs flat or through the multilevel plan. `opt.config.seed` must
+/// already be the *mixed* per-component seed (component_seed) — this
+/// function does no mixing, which is exactly what makes a worker process
+/// reproduce the in-process bytes: the parent mixes, the leaf is shared.
+core::LayoutResult run_component_graph(const graph::LeanGraph& g,
+                                       const SchedulerOptions& opt);
+
+/// Serializes the execution-relevant slice of SchedulerOptions for a
+/// worker process: "backend=<name>;" + core::canonical_config of the
+/// config with `mixed_seed` substituted, + "multilevel=<0|levels>;" and,
+/// when multilevel, the ml.* fields. Same `name=value;` grammar as the
+/// canonical config, so the worker parses it with the same machinery.
+std::string encode_worker_spec(const SchedulerOptions& opt,
+                               std::uint64_t mixed_seed);
+
+/// Inverse of encode_worker_spec. The returned options always have
+/// executor "thread", workers 1 — a worker lays out exactly one component
+/// in-process. Throws std::invalid_argument on malformed input.
+SchedulerOptions parse_worker_spec(std::string_view spec);
+
+/// Body of `pgl_layout --component-worker`: loads the component's .pgg,
+/// runs run_component_graph(parse_worker_spec(spec)), writes the layout
+/// atomically to `out_path`, and reports over `status_fd` (when >= 0) as
+/// length-prefixed frames — "result <updates> <skipped> <seconds>" then
+/// "telemetry\n<snapshot_wire>". Returns the process exit code (0 on
+/// success); failures print to stderr and return 1 so the parent sees a
+/// clean nonzero exit rather than an aborted pipe.
+int run_component_worker(const std::string& graph_path,
+                         const std::string& out_path, const std::string& spec,
+                         int status_fd);
+
+/// Execution mechanism for one decomposition. Implementations must honour
+/// the scheduler's contract: results indexed by component id, hook called
+/// once per finished component (serialized), largest-first admission.
+class Executor {
+public:
+    virtual ~Executor() = default;
+
+    virtual std::string_view name() const noexcept = 0;
+
+    /// Lays out every component of `d` under `opt`. Throws
+    /// std::runtime_error if any component fails (after running the rest,
+    /// for the process executor). `hook` may be empty.
+    virtual std::vector<core::LayoutResult> run(
+        const Decomposition& d, const SchedulerOptions& opt,
+        const ComponentHook& hook) const = 0;
+};
+
+/// String-keyed executor factory (the shared FactoryRegistry behaviour).
+/// "thread" and "process" are registered on first use; tests register
+/// doubles the same way engines do.
+class ExecutorRegistry : public core::FactoryRegistry<Executor> {
+public:
+    static ExecutorRegistry& instance();
+
+private:
+    ExecutorRegistry() = default;
+};
+
+/// Creates a registered executor or throws std::invalid_argument listing
+/// the available names.
+std::unique_ptr<Executor> make_executor(const std::string& name);
+
+namespace detail {
+std::unique_ptr<Executor> make_thread_executor();
+std::unique_ptr<Executor> make_process_executor();
+}  // namespace detail
+
+}  // namespace pgl::partition

@@ -63,6 +63,13 @@ JobRequest parse_request(const JsonValue& submit) {
             } else if (key == "component_workers") {
                 r.component_workers =
                     checked_uint<std::uint32_t>(v, "component_workers");
+            } else if (key == "executor") {
+                // Execution mechanism only ("thread" / "process") — the
+                // laid-out bytes are identical by contract, so this never
+                // enters the canonical request.
+                r.executor = v.as_string();
+            } else if (key == "processes") {
+                r.processes = checked_uint<std::uint32_t>(v, "processes");
             } else if (key == "multilevel") {
                 // 0 = off, N >= 1 = on with N coarsening levels — the CLI's
                 // --multilevel[=N] shape.
@@ -106,6 +113,8 @@ JsonValue request_to_json(const JobRequest& r) {
     config["init_jitter"] = JsonValue(r.config.init_jitter);
     config["partition"] = JsonValue(r.partition);
     config["component_workers"] = JsonValue(std::uint64_t{r.component_workers});
+    config["executor"] = JsonValue(r.executor);
+    config["processes"] = JsonValue(std::uint64_t{r.processes});
     config["multilevel"] =
         JsonValue(std::uint64_t{r.multilevel ? r.ml.levels : 0});
     config["coarse_iters"] = JsonValue(std::uint64_t{r.ml.coarse_iters});

@@ -8,8 +8,9 @@
 // kernel, core::LayoutConfig knobs, partition, multilevel). The canonical
 // form includes exactly the fields that select the bytes of the finished
 // .lay — so two requests that must produce identical output share one
-// cache entry — and excludes pure execution knobs (component_workers: the
-// partition scheduler is byte-identical at any worker count).
+// cache entry — and excludes pure execution knobs (component_workers,
+// executor, processes: the partition executors are byte-identical at any
+// worker/process count, in-process or multi-process).
 #include <cstdint>
 #include <string>
 
@@ -25,6 +26,8 @@ struct JobRequest {
     core::LayoutConfig config;  ///< kernel/iters/seed/threads/... knobs
     bool partition = false;
     std::uint32_t component_workers = 1;  ///< execution-only: not in the key
+    std::string executor = "thread";      ///< execution-only: not in the key
+    std::uint32_t processes = 1;          ///< execution-only: not in the key
     bool multilevel = false;
     multilevel::MultilevelOptions ml;
 };

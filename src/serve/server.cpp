@@ -5,9 +5,8 @@
 
 #include "core/engine.hpp"
 #include "core/kernels/update_kernel.hpp"
+#include "driver/driver.hpp"
 #include "io/pgg_io.hpp"
-#include "multilevel/plan.hpp"
-#include "partition/partition.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pgl::serve {
@@ -371,52 +370,34 @@ std::shared_ptr<const graph::LeanIngest> Server::load_graph(
 
 core::Layout Server::run_job(Job& job) {
     const JobRequest& r = job.request;
-    const std::shared_ptr<const graph::LeanIngest> ingest =
-        load_graph(r, job.graph_fp);
-    const graph::LeanGraph& g = ingest->graph;
 
-    core::LayoutConfig cfg = r.config;
-    cfg.cancel = job.cancel_flag;
-
-    if (r.partition) {
-        // Mirror `pgl_layout --partition`: the ingest's precomputed labels
-        // (copied — the shared ingest must stay intact for the next job)
-        // feed the same partition_layout overload the CLI calls, so the
-        // stitched canvas is byte-identical to a direct run.
-        partition::ComponentLabels labels;
-        labels.count = ingest->component_count;
-        labels.node_component = ingest->node_component;
-        labels.path_component = ingest->path_component;
-
-        partition::PartitionOptions popt;
-        popt.schedule.backend = r.backend;
-        popt.schedule.config = cfg;
-        popt.schedule.workers = r.component_workers;
-        popt.schedule.multilevel = r.multilevel;
-        popt.schedule.multilevel_opt = r.ml;
-        popt.progress = [&job](const partition::ComponentProgress& p) {
-            job.progress.store(
-                p.total ? static_cast<double>(p.completed) / p.total : 1.0,
-                std::memory_order_relaxed);
-        };
-        return partition::partition_layout(g, std::move(labels), popt)
-            .stitched.layout;
-    }
-
-    auto engine = core::make_engine(r.backend);
-    engine->set_progress_hook([&job](const core::IterationStats& s) {
+    // The same driver pipeline `pgl_layout` runs, fed the daemon's cached
+    // ingest (the driver copies the labels it needs; the shared entry
+    // stays intact for the next job) and no output paths — the artifact
+    // cache publishes the layout under the job's canonical key instead.
+    driver::RunRequest req;
+    req.ingest = load_graph(r, job.graph_fp);
+    req.backend = r.backend;
+    req.config = r.config;
+    req.config.cancel = job.cancel_flag;
+    req.partition = r.partition;
+    req.component_workers = r.component_workers;
+    req.executor = r.executor;
+    req.processes = r.processes;
+    req.multilevel = r.multilevel;
+    req.ml = r.ml;
+    req.component_progress = [&job](const partition::ComponentProgress& p) {
+        job.progress.store(
+            p.total ? static_cast<double>(p.completed) / p.total : 1.0,
+            std::memory_order_relaxed);
+    };
+    req.iteration_progress = [&job](const core::IterationStats& s) {
         job.progress.store(
             s.iter_max ? static_cast<double>(s.iteration + 1) / s.iter_max
                        : 1.0,
             std::memory_order_relaxed);
-    });
-    if (r.multilevel) {
-        const multilevel::LayoutPlan plan = multilevel::build_plan(
-            cfg, r.ml, static_cast<double>(g.max_path_nuc_length()));
-        return multilevel::run_plan(plan, g, *engine, cfg).layout;
-    }
-    engine->init(g, cfg);
-    return engine->run().layout;
+    };
+    return driver::run_layout(req).layout;
 }
 
 }  // namespace pgl::serve

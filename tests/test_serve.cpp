@@ -153,6 +153,30 @@ TEST(ServeRequest, ExecutionOnlyKnobsDoNotChangeTheKey) {
             R"({"graph":"g","config":{"partition":true,)"
             R"("component_workers":8}})")));
     EXPECT_EQ(a, b);
+    // Same for the executor choice: thread and process runs are
+    // byte-identical by contract, so they key the same cache entry.
+    const std::string c =
+        serve::canonical_request(serve::parse_request(serve::json_parse(
+            R"({"graph":"g","config":{"partition":true,)"
+            R"("executor":"process","processes":4}})")));
+    EXPECT_EQ(a, c);
+}
+
+TEST(ServeRequest, ExecutorKnobsParseAndRoundTripTheWire) {
+    // Explicit seed: the JSON number model only holds integers exactly up
+    // to 2^53, and the default seed is larger (documented in json.hpp).
+    const serve::JobRequest r = serve::parse_request(serve::json_parse(
+        R"({"graph":"g","config":{"partition":true,"executor":"process",)"
+        R"("processes":3,"seed":41}})"));
+    EXPECT_EQ(r.executor, "process");
+    EXPECT_EQ(r.processes, 3u);
+    // The wire form keeps the execution knobs (a resubmitted request must
+    // run the same way), even though the cache key drops them.
+    const serve::JobRequest back =
+        serve::parse_request(serve::request_to_json(r));
+    EXPECT_EQ(back.executor, "process");
+    EXPECT_EQ(back.processes, 3u);
+    EXPECT_EQ(serve::canonical_request(back), serve::canonical_request(r));
 }
 
 TEST(ServeRequest, UnknownConfigKeyIsRejected) {

@@ -11,6 +11,8 @@
 #   ingest      GFA -> .pgg cache -> byte-identical partitioned layout
 #   multilevel  --multilevel reaches flat stress in less SGD wall-clock
 #   telemetry   --trace writes valid JSON with nonzero engine counters
+#   multiprocess  --processes matches the in-process run byte for byte,
+#                 and a crashed worker fails loudly without stale output
 #
 # The listing contract is strict on purpose: an empty or failing
 # `--list-backends` / `--list-kernels` fails the suite, never silently
@@ -19,7 +21,7 @@ set -euo pipefail
 
 if [ $# -lt 2 ]; then
     echo "usage: $0 BUILD_DIR SUITE [SUITE...]" >&2
-    echo "suites: backends kernels ingest multilevel telemetry" >&2
+    echo "suites: backends kernels ingest multilevel telemetry multiprocess" >&2
     exit 2
 fi
 
@@ -185,6 +187,39 @@ print(f"{len(events)} trace events, "
 EOF
 }
 
+suite_multiprocess() {
+    # The executor contract end to end through the CLI: the same partitioned
+    # run through the in-process thread executor and through --processes
+    # (fork/exec pgl_layout --component-worker children) must be
+    # byte-identical — flat and multilevel — and a worker killed mid-run
+    # (the PGL_COMPONENT_WORKER_CRASH test hook) must fail the parent with
+    # a per-component diagnostic while leaving no output file behind.
+    ensure_genome
+    "${PGL}" -i "${GENOME}" -o "${WORKDIR}/mp_thread.lay" \
+        --partition --component-workers 2 --iters 3 --factor 0.5
+    "${PGL}" -i "${GENOME}" -o "${WORKDIR}/mp_process.lay" \
+        --partition --processes 2 --iters 3 --factor 0.5 --timing
+    cmp "${WORKDIR}/mp_thread.lay" "${WORKDIR}/mp_process.lay"
+    echo "thread and process executors are byte-identical (flat)"
+    "${PGL}" -i "${GENOME}" -o "${WORKDIR}/mp_thread_ml.lay" \
+        --partition --component-workers 2 --multilevel --iters 3 --factor 0.5
+    "${PGL}" -i "${GENOME}" -o "${WORKDIR}/mp_process_ml.lay" \
+        --partition --processes 2 --multilevel --iters 3 --factor 0.5
+    cmp "${WORKDIR}/mp_thread_ml.lay" "${WORKDIR}/mp_process_ml.lay"
+    echo "thread and process executors are byte-identical (multilevel)"
+
+    rm -f "${WORKDIR}/mp_crash.lay"
+    if PGL_COMPONENT_WORKER_CRASH=/c0.lay "${PGL}" -i "${GENOME}" \
+        -o "${WORKDIR}/mp_crash.lay" --partition --processes 2 \
+        --iters 3 --factor 0.5 2> "${WORKDIR}/mp_crash.err"; then
+        echo "crashed worker did not fail the parent" >&2
+        exit 1
+    fi
+    grep -q "component 0" "${WORKDIR}/mp_crash.err"
+    test ! -f "${WORKDIR}/mp_crash.lay"
+    echo "crash containment OK: parent failed, no output published"
+}
+
 for suite in "$@"; do
     case "${suite}" in
         backends) suite_backends ;;
@@ -192,6 +227,7 @@ for suite in "$@"; do
         ingest) suite_ingest ;;
         multilevel) suite_multilevel ;;
         telemetry) suite_telemetry ;;
+        multiprocess) suite_multiprocess ;;
         *)
             echo "unknown suite: ${suite}" >&2
             exit 2

@@ -1,14 +1,17 @@
 // pgl-layout — the command-line layout tool, mirroring `odgi layout` with
 // the paper's promised `--gpu` switch (Sec. VII-B: "a user can simply add
-// the --gpu argument"). Every execution machine is driven through the
-// common LayoutEngine interface; `--backend` selects any registered engine
-// by name, while `--gpu` / `--cdl` remain as familiar aliases.
+// the --gpu argument"). main() is flag parsing plus one driver::run_layout
+// call: every execution mode — flat, multilevel, partitioned (in-process
+// or multi-process), graph-cache conversion, and the internal
+// --component-worker mode the process executor spawns — runs the same
+// driver pipeline the serve daemon uses.
 //
 //   pgl-layout -i graph.gfa|graph.pgg -o graph.lay
 //              [--backend NAME | --gpu[=a6000|a100]] [--kernel NAME]
 //              [--iters N] [--factor F] [--threads N] [--seed N]
 //              [--save-graph FILE.pgg] [--load-graph FILE.pgg]
-//              [--partition] [--component-workers N] [--per-component-out DIR]
+//              [--partition] [--component-workers N] [--processes N]
+//              [--per-component-out DIR]
 //              [--multilevel[=LEVELS]] [--refine-iters N] [--exact-tail]
 //              [--svg out.svg] [--ppm out.ppm] [--stress] [--cdl]
 //              [--progress] [--timing] [--trace out.json]
@@ -20,36 +23,23 @@
 // extension, or forced with --load-graph). --save-graph writes the cache
 // after ingestion so repeated runs of the same pangenome skip GFA parsing;
 // with --save-graph and no -o the tool converts and exits. With
-// --partition the graph is decomposed into connected components using the
-// labels computed during ingestion, each component is laid out by its own
-// engine instance — spread across --component-workers threads, largest
-// component first — and the results are shelf-packed onto one canvas (see
-// README "Partitioned whole-genome layout" for the determinism contract).
-#include <charconv>
+// --partition the graph is decomposed into connected components, each
+// component is laid out by its own engine instance — spread across
+// --component-workers threads, or farmed to --processes child worker
+// processes — and the results are shelf-packed onto one canvas (see
+// README "Execution drivers" for the determinism contract).
 #include <chrono>
 #include <cstdint>
-#include <cstdlib>
 #include <cstring>
-#include <filesystem>
 #include <iostream>
-#include <memory>
 #include <string>
-#include <system_error>
 
-#include "core/cpu_engine.hpp"
+#include "cli_common.hpp"
 #include "core/engine.hpp"
 #include "core/kernels/update_kernel.hpp"
-#include "draw/ppm.hpp"
-#include "draw/svg.hpp"
+#include "driver/driver.hpp"
 #include "gpusim/gpu_machine.hpp"
 #include "gpusim/gpu_spec.hpp"
-#include "graph/gfa_stream.hpp"
-#include "graph/lean_graph.hpp"
-#include "io/lay_io.hpp"
-#include "io/pgg_io.hpp"
-#include "metrics/path_stress.hpp"
-#include "multilevel/plan.hpp"
-#include "partition/partition.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -72,6 +62,8 @@ void usage(const char* argv0) {
         << "  --partition         decompose into connected components, lay out\n"
         << "                      each with its own engine, stitch one canvas\n"
         << "  --component-workers N  components laid out concurrently (default 1)\n"
+        << "  --processes N       farm components to N child worker processes\n"
+        << "                      (byte-identical to the in-process run)\n"
         << "  --per-component-out DIR  also dump component_<k>.lay per component\n"
         << "  --multilevel[=LEVELS]  coarsen linear runs LEVELS times (default 1),\n"
         << "                      anneal the coarse graph, interpolate, refine\n"
@@ -98,53 +90,15 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
         .count();
 }
 
-// Checked numeric option parsing. std::atoi silently turned garbage and
-// out-of-range values into 0 and the run "succeeded" with a nonsense
-// config; from_chars lets us reject both with a clear diagnostic.
-template <typename T>
-T parse_int_or_die(const std::string& flag, const char* text) {
-    T value{};
-    const char* end = text + std::strlen(text);
-    const auto [ptr, ec] = std::from_chars(text, end, value);
-    if (ec == std::errc::result_out_of_range) {
-        std::cerr << "value for " << flag << " is out of range: '" << text << "'\n";
-        std::exit(2);
-    }
-    if (ec != std::errc() || ptr != end) {
-        std::cerr << "invalid value for " << flag << ": '" << text
-                  << "' (expected a non-negative integer)\n";
-        std::exit(2);
-    }
-    return value;
-}
-
-double parse_double_or_die(const std::string& flag, const char* text) {
-    double value = 0.0;
-    const char* end = text + std::strlen(text);
-    const auto [ptr, ec] = std::from_chars(text, end, value);
-    if (ec == std::errc::result_out_of_range) {
-        std::cerr << "value for " << flag << " is out of range: '" << text << "'\n";
-        std::exit(2);
-    }
-    if (ec != std::errc() || ptr != end) {
-        std::cerr << "invalid value for " << flag << ": '" << text
-                  << "' (expected a number)\n";
-        std::exit(2);
-    }
-    return value;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace pgl;
-    std::string in_path, out_path, svg_path, ppm_path, backend, gpu_name;
-    std::string per_component_dir, save_graph_path, load_graph_path, trace_path;
-    bool report_stress = false, progress = false, partition_run = false;
-    bool timing = false, multilevel_run = false;
-    std::uint32_t component_workers = 1;
-    multilevel::MultilevelOptions mlopt;
-    core::LayoutConfig cfg;
+    driver::RunRequest req;
+    req.backend.clear();  // resolved to cpu-soa after the alias flags
+    std::string in_path, gpu_name, load_graph_path, trace_path;
+    bool report_stress = false, progress = false, timing = false;
+    bool processes_set = false;
 
     // CI's smoke loops consume the `--list-backends` / `--list-kernels`
     // output verbatim (`for x in $(pgl_layout --list-...)`), so the contract
@@ -169,25 +123,21 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << "option " << arg << " requires an argument\n";
-                usage(argv[0]);
-                std::exit(2);
-            }
-            return argv[++i];
+            return cli::next_arg_or_die(argc, argv, i, arg,
+                                        [&] { usage(argv[0]); });
         };
         if (arg == "-i") {
             in_path = next();
         } else if (arg == "-o") {
-            out_path = next();
+            req.out_path = next();
         } else if (arg == "--backend") {
-            backend = next();
+            req.backend = next();
             gpu_name.clear();  // last flag wins over an earlier --gpu=NAME
         } else if (arg == "--gpu") {
-            backend = "gpusim-optimized";
+            req.backend = "gpusim-optimized";
             gpu_name.clear();
         } else if (arg.rfind("--gpu=", 0) == 0) {
-            backend = "gpusim-optimized";
+            req.backend = "gpusim-optimized";
             gpu_name = arg.substr(6);
             if (gpu_name != "a6000" && gpu_name != "a100") {
                 std::cerr << "unknown GPU \"" << gpu_name
@@ -195,46 +145,50 @@ int main(int argc, char** argv) {
                 return 2;
             }
         } else if (arg == "--cdl") {
-            backend = "cpu-aos";
+            req.backend = "cpu-aos";
             gpu_name.clear();
         } else if (arg == "--kernel") {
-            cfg.kernel = next();
+            req.config.kernel = next();
         } else if (arg == "--iters") {
-            cfg.iter_max = parse_int_or_die<std::uint32_t>(arg, next());
+            req.config.iter_max = cli::parse_int_or_die<std::uint32_t>(arg, next());
         } else if (arg == "--factor") {
-            cfg.steps_per_iter_factor = parse_double_or_die(arg, next());
+            req.config.steps_per_iter_factor = cli::parse_double_or_die(arg, next());
         } else if (arg == "--threads") {
-            cfg.threads = parse_int_or_die<std::uint32_t>(arg, next());
+            req.config.threads = cli::parse_int_or_die<std::uint32_t>(arg, next());
         } else if (arg == "--seed") {
-            cfg.seed = parse_int_or_die<std::uint64_t>(arg, next());
+            req.config.seed = cli::parse_int_or_die<std::uint64_t>(arg, next());
         } else if (arg == "--save-graph") {
-            save_graph_path = next();
+            req.save_graph_path = next();
         } else if (arg == "--load-graph") {
             load_graph_path = next();
         } else if (arg == "--partition") {
-            partition_run = true;
+            req.partition = true;
         } else if (arg == "--component-workers") {
-            component_workers = parse_int_or_die<std::uint32_t>(arg, next());
+            req.component_workers = cli::parse_int_or_die<std::uint32_t>(arg, next());
+        } else if (arg == "--processes") {
+            req.processes = cli::parse_int_or_die<std::uint32_t>(arg, next());
+            req.executor = "process";
+            processes_set = true;
         } else if (arg == "--per-component-out") {
-            per_component_dir = next();
+            req.per_component_dir = next();
         } else if (arg == "--multilevel") {
-            multilevel_run = true;
+            req.multilevel = true;
         } else if (arg.rfind("--multilevel=", 0) == 0) {
-            multilevel_run = true;
-            mlopt.levels = parse_int_or_die<std::uint32_t>(
+            req.multilevel = true;
+            req.ml.levels = cli::parse_int_or_die<std::uint32_t>(
                 "--multilevel", arg.c_str() + std::strlen("--multilevel="));
-            if (mlopt.levels == 0) {
+            if (req.ml.levels == 0) {
                 std::cerr << "--multilevel=LEVELS requires LEVELS >= 1\n";
                 return 2;
             }
         } else if (arg == "--refine-iters") {
-            mlopt.refine_iters = parse_int_or_die<std::uint32_t>(arg, next());
+            req.ml.refine_iters = cli::parse_int_or_die<std::uint32_t>(arg, next());
         } else if (arg == "--exact-tail") {
-            mlopt.exact_tail = true;
+            req.ml.exact_tail = true;
         } else if (arg == "--svg") {
-            svg_path = next();
+            req.svg_path = next();
         } else if (arg == "--ppm") {
-            ppm_path = next();
+            req.ppm_path = next();
         } else if (arg == "--stress") {
             report_stress = true;
         } else if (arg == "--progress") {
@@ -243,6 +197,12 @@ int main(int argc, char** argv) {
             timing = true;
         } else if (arg == "--trace") {
             trace_path = next();
+        } else if (arg == "--component-worker") {
+            req.component_worker = true;
+        } else if (arg == "--worker-spec") {
+            req.worker_spec = next();
+        } else if (arg == "--status-fd") {
+            req.status_fd = cli::parse_int_or_die<int>(arg, next());
         } else if (arg == "-h" || arg == "--help") {
             usage(argv[0]);
             return 0;
@@ -258,44 +218,88 @@ int main(int argc, char** argv) {
             return 2;
         }
         in_path = load_graph_path;
+        req.force_pgg = true;
     }
-    const bool convert_only = !save_graph_path.empty() && out_path.empty();
-    if (in_path.empty() || (out_path.empty() && !convert_only)) {
+    req.graph_path = in_path;
+    if (req.component_worker) {
+        // The internal mode the process executor spawns: one component in,
+        // one .lay out, status frames on --status-fd. All other flags are
+        // carried by --worker-spec.
+        if (req.graph_path.empty() || req.out_path.empty() ||
+            req.worker_spec.empty()) {
+            std::cerr << "--component-worker requires --load-graph, -o and "
+                         "--worker-spec\n";
+            return 2;
+        }
+        return driver::run_layout(req).worker_exit_code;
+    }
+    const bool convert_only = !req.save_graph_path.empty() && req.out_path.empty();
+    if (req.graph_path.empty() || (req.out_path.empty() && !convert_only)) {
         std::cerr << "both -i (or --load-graph) and -o are required\n";
         usage(argv[0]);
         return 2;
     }
-    if (!per_component_dir.empty() && !partition_run) {
+    if (!req.per_component_dir.empty() && !req.partition) {
         std::cerr << "--per-component-out requires --partition\n";
         return 2;
     }
-    if (component_workers != 1 && !partition_run) {
+    if (req.component_workers != 1 && !req.partition) {
         std::cerr << "--component-workers requires --partition\n";
         return 2;
     }
-    if (mlopt.refine_iters != 0 && !multilevel_run) {
+    if (processes_set && !req.partition) {
+        std::cerr << "--processes requires --partition\n";
+        return 2;
+    }
+    if (processes_set && req.processes == 0) {
+        std::cerr << "--processes requires N >= 1\n";
+        return 2;
+    }
+    if (req.ml.refine_iters != 0 && !req.multilevel) {
         std::cerr << "--refine-iters requires --multilevel\n";
         return 2;
     }
-    if (mlopt.exact_tail && !multilevel_run) {
+    if (req.ml.exact_tail && !req.multilevel) {
         std::cerr << "--exact-tail requires --multilevel\n";
         return 2;
     }
-    if (backend.empty()) backend = "cpu-soa";
-    if (!core::KernelRegistry::instance().contains(cfg.kernel)) {
-        std::cerr << "unknown update kernel \"" << cfg.kernel << "\"; available:";
+    if (req.backend.empty()) req.backend = "cpu-soa";
+    if (!core::KernelRegistry::instance().contains(req.config.kernel)) {
+        std::cerr << "unknown update kernel \"" << req.config.kernel
+                  << "\"; available:";
         for (const auto& n : core::KernelRegistry::instance().names()) {
             std::cerr << " " << n;
         }
         std::cerr << "\n";
         return 2;
     }
-    if (partition_run && gpu_name == "a100") {
+    if (req.partition && gpu_name == "a100") {
         // The a100 variant is constructed with a non-default machine spec,
         // not through the registry the scheduler draws engines from.
         std::cerr << "--gpu=a100 is not supported with --partition "
                      "(use --gpu or --backend gpusim-optimized)\n";
         return 2;
+    }
+    if (gpu_name == "a100") {
+        req.engine_factory = [] {
+            return gpusim::make_gpusim_engine(gpusim::KernelConfig::optimized(),
+                                              gpusim::a100());
+        };
+    }
+    req.log = [](const std::string& line) { std::cerr << line << "\n"; };
+    req.compute_stress = report_stress;
+    if (progress) {
+        req.iteration_progress = [](const core::IterationStats& s) {
+            std::cerr << "iter " << (s.iteration + 1) << "/" << s.iter_max
+                      << "  eta " << s.eta << "  updates " << s.updates
+                      << "  skipped " << s.skipped << "\n";
+        };
+        req.component_progress = [](const partition::ComponentProgress& p) {
+            std::cerr << "component " << p.completed << "/" << p.total
+                      << " (id " << p.component << "): " << p.nodes
+                      << " nodes, " << p.updates << " updates, " << p.seconds
+                      << " s\n";
+        };
     }
 
     // --trace captures every stage span of this run; enable before any work
@@ -304,136 +308,23 @@ int main(int argc, char** argv) {
 
     const auto t_start = std::chrono::steady_clock::now();
     try {
-        // Streams GFA (or loads the .pgg cache — decided by extension)
-        // straight into the LeanGraph; no VariationGraph is built.
-        graph::LeanIngest ingest = [&] {
-            telemetry::StageSpan span("parse", "cli");
-            return !load_graph_path.empty() ? io::read_pgg_file(load_graph_path)
-                                            : io::load_graph_file(in_path);
-        }();
-        const graph::LeanGraph& g = ingest.graph;
-        std::cerr << "loaded " << g.node_count() << " nodes, " << g.path_count()
-                  << " paths, " << g.total_path_steps() << " steps, "
-                  << ingest.component_count << " components\n";
-        if (!save_graph_path.empty()) {
-            io::write_pgg_file(ingest, save_graph_path);
-            std::cerr << "wrote graph cache " << save_graph_path << "\n";
-            if (convert_only) return 0;
-        }
+        const driver::RunOutcome outcome = driver::run_layout(req);
+        if (outcome.convert_only) return 0;
 
-        core::Layout final_layout;
-        partition::PartitionResult part;
-        if (partition_run) {
-            partition::PartitionOptions popt;
-            popt.schedule.backend = backend;
-            popt.schedule.config = cfg;
-            popt.schedule.workers = component_workers;
-            popt.schedule.multilevel = multilevel_run;
-            popt.schedule.multilevel_opt = mlopt;
-            if (progress) {
-                popt.progress = [](const partition::ComponentProgress& p) {
-                    std::cerr << "component " << p.completed << "/" << p.total
-                              << " (id " << p.component << "): " << p.nodes
-                              << " nodes, " << p.updates << " updates, "
-                              << p.seconds << " s\n";
-                };
-            }
-            part = partition::partition_layout(
-                g, partition::take_labels(ingest), popt);
-            std::cerr << backend << ": " << part.decomposition.count()
-                      << " components, " << part.updates << " updates in "
-                      << part.seconds << " s (engine time "
-                      << part.engine_seconds << " s), canvas "
-                      << part.stitched.width << " x " << part.stitched.height
-                      << "\n";
-            final_layout = part.stitched.layout;
-        } else {
-            // `--gpu=a100` needs a non-default machine spec, so it constructs
-            // the engine directly; every registered name goes via the
-            // registry.
-            std::unique_ptr<core::LayoutEngine> engine;
-            if (gpu_name == "a100") {
-                engine = gpusim::make_gpusim_engine(
-                    gpusim::KernelConfig::optimized(), gpusim::a100());
-            } else {
-                engine = core::make_engine(backend);
-            }
-
-            if (progress) {
-                engine->set_progress_hook([](const core::IterationStats& s) {
-                    std::cerr << "iter " << (s.iteration + 1) << "/" << s.iter_max
-                              << "  eta " << s.eta << "  updates " << s.updates
-                              << "  skipped " << s.skipped << "\n";
-                });
-            }
-            if (multilevel_run) {
-                const multilevel::LayoutPlan plan = multilevel::build_plan(
-                    cfg, mlopt,
-                    static_cast<double>(g.max_path_nuc_length()));
-                std::cerr << "multilevel plan: " << multilevel::describe(plan)
-                          << "\n";
-                multilevel::MultilevelResult ml =
-                    multilevel::run_plan(plan, g, *engine, cfg);
-                std::cerr << engine->name() << " (multilevel, ";
-                for (std::size_t l = 0; l < ml.level_nodes.size(); ++l) {
-                    std::cerr << (l ? " -> " : "") << ml.level_nodes[l];
-                }
-                std::cerr << " nodes): " << ml.updates << " updates in "
-                          << ml.engine_seconds << " s\n";
-                final_layout = std::move(ml.layout);
-            } else {
-                // The multilevel path gets its layout stage from run_plan's
-                // per-pass spans; only the flat run is timed here.
-                telemetry::StageSpan span("layout", "cli");
-                engine->init(g, cfg);
-                auto r = engine->run();
-                std::cerr << engine->name() << ": " << r.updates
-                          << " updates in " << r.seconds << " s\n";
-                final_layout = std::move(r.layout);
-            }
-        }
-
-        {
-            telemetry::StageSpan span("render", "cli");
-            io::write_layout_file(final_layout, out_path);
-            std::cerr << "wrote " << out_path << "\n";
-            if (!per_component_dir.empty()) {
-                std::filesystem::create_directories(per_component_dir);
-                for (std::uint32_t c = 0; c < part.decomposition.count(); ++c) {
-                    const std::string path = per_component_dir + "/component_" +
-                                             std::to_string(c) + ".lay";
-                    io::write_layout_file(part.component_results[c].layout, path);
-                }
-                std::cerr << "wrote " << part.decomposition.count()
-                          << " per-component layouts to " << per_component_dir
-                          << "\n";
-            }
-            if (!svg_path.empty()) {
-                draw::write_svg_file(g, final_layout, svg_path);
-                std::cerr << "wrote " << svg_path << "\n";
-            }
-            if (!ppm_path.empty()) {
-                draw::write_ppm_file(final_layout, ppm_path);
-                std::cerr << "wrote " << ppm_path << "\n";
-            }
-        }
-
-        if (report_stress) {
-            const auto sps = [&] {
-                telemetry::StageSpan span("metrics", "cli");
-                return metrics::sampled_path_stress(g, final_layout);
-            }();
-            std::cout << "sampled path stress: " << sps.value << " ["
-                      << sps.ci_low << ", " << sps.ci_high << "] over "
-                      << sps.terms << " terms\n";
+        if (outcome.stress_computed) {
+            std::cout << "sampled path stress: " << outcome.stress.value
+                      << " [" << outcome.stress.ci_low << ", "
+                      << outcome.stress.ci_high << "] over "
+                      << outcome.stress.terms << " terms\n";
         }
         if (timing) {
 #ifndef PGL_TELEMETRY_DISABLED
             // One stage per line, machine-parseable ("timing: <stage> <s> s"),
             // all read from the telemetry span histograms so every run mode —
             // flat, --partition, --multilevel, or combinations — reports
-            // through the same path. Stage sums aggregate across components,
-            // so they can exceed wall-clock with --component-workers > 1.
+            // through the same path. Stage sums aggregate across components
+            // (and, with --processes, across merged worker snapshots), so
+            // they can exceed wall-clock with concurrency > 1.
             auto& reg = telemetry::Registry::instance();
             for (const char* stage :
                  {"parse", "coarsen", "layout", "interpolate", "refine",

@@ -23,7 +23,6 @@
 // With --wait it blocks until the job is terminal, copies the artifact to
 // -o if given, prints the final response JSON on stdout, and exits 0 only
 // for state "done".
-#include <charconv>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
@@ -32,6 +31,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli_common.hpp"
 #include "serve/daemon.hpp"
 #include "serve/json.hpp"
 #include "telemetry/telemetry.hpp"
@@ -59,6 +59,7 @@ void usage(const char* argv0) {
         << "    --socket PATH --graph FILE [--backend NAME] [--kernel NAME]\n"
         << "    [--iters N] [--factor F] [--threads N] [--seed N]\n"
         << "    [--partition] [--component-workers N]\n"
+        << "    [--executor thread|process] [--processes N]\n"
         << "    [--multilevel[=LEVELS]] [--refine-iters N] [--exact-tail]\n"
         << "    [--wait] [-o OUT.lay]\n"
         << "  status    --socket PATH --id N\n"
@@ -70,28 +71,9 @@ void usage(const char* argv0) {
         << "  request   --socket PATH JSON   send one raw protocol line\n";
 }
 
-template <typename T>
-T parse_int_or_die(const std::string& flag, const char* text) {
-    T value{};
-    const char* end = text + std::strlen(text);
-    const auto [ptr, ec] = std::from_chars(text, end, value);
-    if (ec != std::errc() || ptr != end) {
-        std::cerr << "invalid value for " << flag << ": '" << text << "'\n";
-        std::exit(2);
-    }
-    return value;
-}
-
-double parse_double_or_die(const std::string& flag, const char* text) {
-    double value = 0.0;
-    const char* end = text + std::strlen(text);
-    const auto [ptr, ec] = std::from_chars(text, end, value);
-    if (ec != std::errc() || ptr != end) {
-        std::cerr << "invalid value for " << flag << ": '" << text << "'\n";
-        std::exit(2);
-    }
-    return value;
-}
+// Checked numeric parsing is shared with pgl_layout (tools/cli_common.hpp).
+using pgl::cli::parse_double_or_die;
+using pgl::cli::parse_int_or_die;
 
 /// Sends one line and prints the response; returns 0 iff "ok": true.
 int roundtrip(const std::string& socket_path, const std::string& line) {
@@ -109,11 +91,7 @@ int cmd_serve(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << "option " << arg << " requires an argument\n";
-                std::exit(2);
-            }
-            return argv[++i];
+            return pgl::cli::next_arg_or_die(argc, argv, i, arg, [] {});
         };
         if (arg == "--socket") {
             opt.socket_path = next();
@@ -166,11 +144,7 @@ int cmd_submit(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << "option " << arg << " requires an argument\n";
-                std::exit(2);
-            }
-            return argv[++i];
+            return pgl::cli::next_arg_or_die(argc, argv, i, arg, [] {});
         };
         if (arg == "--socket") {
             socket_path = next();
@@ -200,6 +174,12 @@ int cmd_submit(int argc, char** argv) {
         } else if (arg == "--component-workers") {
             config["component_workers"] =
                 JsonValue(parse_int_or_die<std::uint64_t>(arg, next()));
+        } else if (arg == "--executor") {
+            config["executor"] = JsonValue(std::string(next()));
+        } else if (arg == "--processes") {
+            config["processes"] =
+                JsonValue(parse_int_or_die<std::uint64_t>(arg, next()));
+            config["executor"] = JsonValue(std::string("process"));
         } else if (arg == "--multilevel") {
             config["multilevel"] = JsonValue(std::uint64_t{1});
         } else if (arg.rfind("--multilevel=", 0) == 0) {
@@ -270,11 +250,7 @@ int cmd_simple(int argc, char** argv, const char* cmd, bool needs_id) {
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << "option " << arg << " requires an argument\n";
-                std::exit(2);
-            }
-            return argv[++i];
+            return pgl::cli::next_arg_or_die(argc, argv, i, arg, [] {});
         };
         if (arg == "--socket") {
             socket_path = next();
