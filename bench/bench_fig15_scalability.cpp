@@ -1,6 +1,9 @@
 // Reproduces Fig. 15: run time scales linearly with total path length for
 // both the CPU baseline and the GPU kernel (the number of updates is
-// proportional to total path length).
+// proportional to total path length). With --json the measured host runs
+// are also emitted as BenchRecords (one per path-length fraction, labeled
+// "host-f<frac>") so the linearity series rides the same regression gate
+// as every other bench.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -23,6 +26,7 @@ int main(int argc, char** argv) {
 
     const auto kernel = gpusim::KernelConfig::optimized();
     const auto a6000 = gpusim::rtx_a6000();
+    bench::JsonReporter json(opt.json_path);
 
     for (const double frac : {0.25, 0.5, 0.75, 1.0, 1.5}) {
         const double scale = opt.scale * frac;
@@ -55,6 +59,8 @@ int main(int argc, char** argv) {
         table.print_row(std::cout,
                         {bench::fmt(full_path_len, 1), bench::fmt(t_cpu, 0),
                          bench::fmt(t_gpu, 1), bench::fmt(host.seconds, 2)});
+        json.add(bench::make_record(opt, "bench_fig15_scalability",
+                                    "host-f" + bench::fmt(frac, 2), host));
     }
     std::cout << "\npaper shape: both series are straight lines through the "
                  "origin (updates proportional to total path length)\n";

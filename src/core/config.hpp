@@ -51,6 +51,20 @@ struct LayoutConfig {
     /// Worker threads for the Hogwild! engine.
     std::uint32_t threads = 1;
 
+    /// Pin pool workers to CPUs (stable worker -> cpu -> node map, see
+    /// core/topology.hpp). Execution-only like `numa` below: never part of
+    /// the canonical config, because placement never changes the bytes of
+    /// a run — the pinned-vs-unpinned byte-identity ctests enforce it.
+    bool pin = false;
+
+    /// NUMA memory-placement policy for the coordinate store and shard
+    /// buffers: "off" (plain heap), "auto" (pages rotate over the nodes
+    /// hosting workers), "interleave" (over every node), "node:K" (one
+    /// node). Parsed by core::parse_numa_policy at engine init — an
+    /// invalid string throws there. Execution-only; excluded from
+    /// canonical_config / canonical_request like `executor`/`processes`.
+    std::string numa = "off";
+
     /// PRNG seed; every run with the same seed and 1 thread is bit-exact.
     std::uint64_t seed = 9'399'220'614'123'047ULL;
 

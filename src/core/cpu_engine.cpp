@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "core/kernels/update_kernel.hpp"
+#include "core/node_alloc.hpp"
 #include "core/schedule.hpp"
 #include "core/step_math.hpp"
 #include "core/term_batch.hpp"
 #include "core/thread_pool.hpp"
+#include "core/topology.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace pgl::core {
@@ -171,8 +173,13 @@ LayoutResult run_layout(const graph::LeanGraph& g, const LayoutConfig& cfg,
             rngs.push_back(seeder);
             for (std::uint32_t j = 0; j < tid; ++j) rngs.back().jump();
         }
+        // Worker-side warm-up: each worker reserves its own shard's batch,
+        // so the buffer pages are first-touched (and, with pinned workers,
+        // node-placed) by the thread that will fill them every slice.
+        // reserve() writes nothing — bytes are identical with or without
+        // pinning.
         std::vector<TermBatch> batches(n_threads);
-        for (auto& b : batches) b.reserve(kBatchSlice);
+        pool.run([&](std::uint32_t tid) { batches[tid].reserve(kBatchSlice); });
         std::vector<std::uint64_t> left(n_threads), slice(n_threads);
         std::vector<std::uint64_t> worker_skipped(n_threads);
         for (std::uint32_t iter = 0; iter < cfg.iter_max; ++iter) {
@@ -247,12 +254,20 @@ protected:
         // Resolving here also validates cfg.kernel: an unknown name throws
         // before any work starts. (The per-term Hogwild path applies terms
         // as it samples them and never drains a batch, but it still rejects
-        // bad names the same way.)
+        // bad names the same way.) resolve_placement likewise validates
+        // cfg.numa up front.
         kernel_ = make_update_kernel(cfg_.kernel);
         // The pool outlives every run(): workers are spawned once per
-        // init(), never inside the iteration loop.
+        // init(), never inside the iteration loop. It is recreated when the
+        // size *or* the placement plan changes — repinning live workers is
+        // not supported.
         const std::uint32_t n = cfg_.threads > 1 ? cfg_.threads : 0;
-        if (!pool_ || pool_->size() != n) pool_ = std::make_unique<ThreadPool>(n);
+        place_ = resolve_placement(cfg_, n);
+        const std::string key = place_.key();
+        if (!pool_ || pool_->size() != n || pool_key_ != key) {
+            pool_ = std::make_unique<ThreadPool>(n, place_.plan);
+            pool_key_ = key;
+        }
     }
 
     LayoutResult do_run(const LayoutConfig& cfg) override {
@@ -261,8 +276,15 @@ protected:
         if (has_progress_hook()) {
             hook = [this](const IterationStats& s) { emit_progress(s); };
         }
-        return run_layout_from(*graph_, cfg, initial, batched_, *kernel_, hook,
-                               *pool_);
+        XYStore store;
+        if (place_.memory_active()) {
+            NodeAllocator alloc(place_, *pool_);
+            store.load(initial, alloc);
+        } else {
+            store.load(initial);
+        }
+        return run_layout(*graph_, cfg, store, batched_, *kernel_, hook,
+                          *pool_);
     }
 
 private:
@@ -270,6 +292,8 @@ private:
     bool batched_;
     std::unique_ptr<const UpdateKernel> kernel_;
     std::unique_ptr<ThreadPool> pool_;
+    PlacementContext place_;
+    std::string pool_key_;
 };
 
 }  // namespace

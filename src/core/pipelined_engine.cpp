@@ -28,9 +28,11 @@
 
 #include "core/cpu_engine.hpp"
 #include "core/kernels/update_kernel.hpp"
+#include "core/node_alloc.hpp"
 #include "core/schedule.hpp"
 #include "core/term_batch.hpp"
 #include "core/thread_pool.hpp"
+#include "core/topology.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace pgl::core {
@@ -98,7 +100,10 @@ LayoutResult run_pipelined(const graph::LeanGraph& g, const LayoutConfig& cfg,
     // Double buffer: producers fill bufs[1 - cur] while the consumer
     // applies bufs[cur]. No reserve: the staged fill sizes exactly the
     // apply columns on first use (reserve() would also allocate the six
-    // replay columns it never writes), and the capacity persists.
+    // replay columns it never writes), and the capacity persists. Shard
+    // tid's buffers are only ever written by producer tid, so with pinned
+    // workers first touch lands them on the producer's own node — no
+    // explicit placement needed.
     std::vector<TermBatch> bufs[2];
     for (auto& side : bufs) side.resize(n_shards);
     std::vector<ShardCounter> fill_skipped(n_shards);
@@ -170,13 +175,21 @@ public:
 
 protected:
     void do_init() override {
-        // Resolving the kernel here also validates cfg.kernel up front.
+        // Resolving the kernel here also validates cfg.kernel up front
+        // (resolve_placement does the same for cfg.numa).
         kernel_ = make_update_kernel(cfg_.kernel);
         // Always at least one producer: even a single-threaded config
         // overlaps sampling with the consumer's updates. Workers persist
         // across run() calls — nothing is spawned in the iteration loop.
+        // The pool is recreated when the placement plan changes, not just
+        // the size: live workers cannot be repinned.
         const std::uint32_t n = cfg_.threads == 0 ? 1 : cfg_.threads;
-        if (!pool_ || pool_->size() != n) pool_ = std::make_unique<ThreadPool>(n);
+        place_ = resolve_placement(cfg_, n);
+        const std::string key = place_.key();
+        if (!pool_ || pool_->size() != n || pool_key_ != key) {
+            pool_ = std::make_unique<ThreadPool>(n, place_.plan);
+            pool_key_ = key;
+        }
     }
 
     LayoutResult do_run(const LayoutConfig& cfg) override {
@@ -185,13 +198,21 @@ protected:
         if (has_progress_hook()) {
             hook = [this](const IterationStats& s) { emit_progress(s); };
         }
-        XYStore s(initial);
+        XYStore s;
+        if (place_.memory_active()) {
+            NodeAllocator alloc(place_, *pool_);
+            s.load(initial, alloc);
+        } else {
+            s.load(initial);
+        }
         return run_pipelined(*graph_, cfg, s, *kernel_, *pool_, hook);
     }
 
 private:
     std::unique_ptr<const UpdateKernel> kernel_;
     std::unique_ptr<ThreadPool> pool_;
+    PlacementContext place_;
+    std::string pool_key_;
 };
 
 }  // namespace

@@ -1,9 +1,19 @@
 #include "core/thread_pool.hpp"
 
+#include <iostream>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace pgl::core {
 
-ThreadPool::ThreadPool(std::uint32_t n_threads)
-    : dispatches_(telemetry::Registry::instance().counter("pool.dispatches")),
+ThreadPool::ThreadPool(std::uint32_t n_threads, WorkerPlacement placement)
+    : placement_(std::move(placement)),
+      dispatches_(telemetry::Registry::instance().counter("pool.dispatches")),
+      pin_failures_(
+          telemetry::Registry::instance().counter("pool.pin.failures")),
       dispatch_wait_(
           telemetry::Registry::instance().histogram("pool.dispatch_wait_ns")),
       barrier_wait_(
@@ -11,6 +21,55 @@ ThreadPool::ThreadPool(std::uint32_t n_threads)
     workers_.reserve(n_threads);
     for (std::uint32_t tid = 0; tid < n_threads; ++tid) {
         workers_.emplace_back([this, tid] { worker_loop(tid); });
+    }
+}
+
+void ThreadPool::pin_self(std::uint32_t tid) {
+    if (tid >= placement_.slots.size()) return;
+    const std::uint32_t cpu = placement_.slots[tid].cpu;
+    bool ok = false;
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    ok = pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+#endif
+    if (ok) return;
+    // Best-effort contract: a restricted cpuset (cgroup, container) or a
+    // non-Linux host must never abort a run — this worker simply stays
+    // unpinned. Placement then degrades but bytes are unaffected.
+    pin_failures_.add(1);
+    std::call_once(pin_warned_, [&] {
+        std::cerr << "pgl: warning: failed to pin pool worker " << tid
+                  << " to cpu " << cpu
+                  << " (restricted cpuset?); continuing unpinned\n";
+    });
+}
+
+void ThreadPool::worker_loop(std::uint32_t tid) {
+    pin_self(tid);
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_work_.wait(lock, [&] {
+            return stopping_ || generation_ != seen_generation;
+        });
+        if (stopping_) return;
+        seen_generation = generation_;
+        dispatch_wait_.record(telemetry::now_ns() - launch_ns_);
+        // job_ stays untouched until every worker checks in below, so
+        // reading it by reference outside the lock is safe.
+        const Job& job = job_;
+        lock.unlock();
+
+        job(tid);
+
+        lock.lock();
+        if (--remaining_ == 0) {
+            in_flight_ = false;
+            lock.unlock();
+            cv_done_.notify_all();
+        }
     }
 }
 
@@ -47,32 +106,6 @@ void ThreadPool::wait() {
     const std::uint64_t t0 = telemetry::now_ns();
     cv_done_.wait(lock, [this] { return !in_flight_; });
     barrier_wait_.record(telemetry::now_ns() - t0);
-}
-
-void ThreadPool::worker_loop(std::uint32_t tid) {
-    std::uint64_t seen_generation = 0;
-    for (;;) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_work_.wait(lock, [&] {
-            return stopping_ || generation_ != seen_generation;
-        });
-        if (stopping_) return;
-        seen_generation = generation_;
-        dispatch_wait_.record(telemetry::now_ns() - launch_ns_);
-        // job_ stays untouched until every worker checks in below, so
-        // reading it by reference outside the lock is safe.
-        const Job& job = job_;
-        lock.unlock();
-
-        job(tid);
-
-        lock.lock();
-        if (--remaining_ == 0) {
-            in_flight_ = false;
-            lock.unlock();
-            cv_done_.notify_all();
-        }
-    }
 }
 
 }  // namespace pgl::core

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/topology.hpp"
 #include "draw/ppm.hpp"
 #include "draw/svg.hpp"
 #include "io/lay_io.hpp"
@@ -47,6 +48,23 @@ RunOutcome run_layout(const RunRequest& req) {
 
     const Narrator log(req.log);
 
+    // Oversubscribing the allowed cpuset (cgroup quota, taskset, container
+    // limit) never helps: extra workers just time-share the same CPUs and
+    // each shard's batch gets smaller. Clamp and say so. This changes the
+    // shard split — and thus the bytes of deterministic backends — so it
+    // happens here, before the config reaches any engine or worker spec,
+    // keeping thread- and process-executor runs in agreement.
+    core::LayoutConfig cfg = req.config;
+    if (cfg.threads > 1) {
+        const auto allowed =
+            static_cast<std::uint32_t>(core::allowed_cpus_self().size());
+        if (allowed > 0 && cfg.threads > allowed) {
+            log("clamping --threads ", req.config.threads, " to ", allowed,
+                " allowed CPUs");
+            cfg.threads = allowed;
+        }
+    }
+
     // Load the graph, or adopt the caller's cached ingest. Only a real
     // load is a "parse" stage: adopting a shared ingest costs nothing and
     // must not pollute the span histograms --timing reads.
@@ -78,7 +96,7 @@ RunOutcome run_layout(const RunRequest& req) {
     if (req.partition) {
         partition::PartitionOptions popt;
         popt.schedule.backend = req.backend;
-        popt.schedule.config = req.config;
+        popt.schedule.config = cfg;
         popt.schedule.workers = req.component_workers;
         popt.schedule.multilevel = req.multilevel;
         popt.schedule.multilevel_opt = req.ml;
@@ -122,11 +140,11 @@ RunOutcome run_layout(const RunRequest& req) {
         out.engine_name = std::string(engine->name());
         if (req.multilevel) {
             const multilevel::LayoutPlan plan = multilevel::build_plan(
-                req.config, req.ml,
+                cfg, req.ml,
                 static_cast<double>(g.max_path_nuc_length()));
             log("multilevel plan: ", multilevel::describe(plan));
             multilevel::MultilevelResult ml =
-                multilevel::run_plan(plan, g, *engine, req.config);
+                multilevel::run_plan(plan, g, *engine, cfg);
             std::ostringstream levels;
             for (std::size_t l = 0; l < ml.level_nodes.size(); ++l) {
                 levels << (l ? " -> " : "") << ml.level_nodes[l];
@@ -143,7 +161,7 @@ RunOutcome run_layout(const RunRequest& req) {
             // The multilevel path gets its layout stage from run_plan's
             // per-pass spans; only the flat run is timed here.
             telemetry::StageSpan span("layout", "cli");
-            engine->init(g, req.config);
+            engine->init(g, cfg);
             core::LayoutResult r = engine->run();
             log(out.engine_name, ": ", r.updates, " updates in ", r.seconds,
                 " s");

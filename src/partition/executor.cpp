@@ -10,6 +10,7 @@
 
 #include "core/config_canon.hpp"
 #include "core/thread_pool.hpp"
+#include "core/topology.hpp"
 #include "multilevel/plan.hpp"
 
 namespace pgl::partition {
@@ -47,6 +48,12 @@ std::string encode_worker_spec(const SchedulerOptions& opt,
     s += "multilevel=";
     s += std::to_string(opt.multilevel ? opt.multilevel_opt.levels : 0u);
     s += ';';
+    // Execution-only placement knobs ride the spec explicitly (they are
+    // not canonical-config fields): a worker process should pin and place
+    // the way its parent would have in-process.
+    s += "pin=";
+    s += cfg.pin ? '1' : '0';
+    s += ";numa=" + cfg.numa + ';';
     if (opt.multilevel) {
         s += "ml.coarse_iters=" +
              std::to_string(opt.multilevel_opt.coarse_iters) + ";";
@@ -115,6 +122,13 @@ SchedulerOptions parse_worker_spec(std::string_view spec) {
         } else if (name == "ml.exact_tail") {
             opt.multilevel_opt.exact_tail =
                 parse_spec_number<std::uint32_t>(name, value) != 0;
+        } else if (name == "pin") {
+            opt.config.pin = parse_spec_number<std::uint32_t>(name, value) != 0;
+        } else if (name == "numa") {
+            // Validated here so a malformed spec fails at parse, not
+            // mid-run inside an engine.
+            core::parse_numa_policy(value);
+            opt.config.numa = std::string(value);
         } else if (!core::apply_canonical_field(opt.config, name, value)) {
             throw std::invalid_argument("unknown worker spec field: " +
                                         std::string(name));
@@ -126,9 +140,18 @@ SchedulerOptions parse_worker_spec(std::string_view spec) {
 namespace {
 
 /// The historical in-process mechanism: a work-stealing loop over the
-/// largest-first order across a core::ThreadPool. Moved verbatim from
-/// ComponentScheduler::run, so "thread" is byte- and schedule-identical
-/// to every release before the executor seam existed.
+/// largest-first order across a core::ThreadPool. The single-queue path is
+/// verbatim from ComponentScheduler::run, so "thread" stays byte- and
+/// schedule-identical to every release before the executor seam existed.
+///
+/// With an active placement (config.pin / config.numa) on a multi-node
+/// topology, components are instead assigned whole to nodes largest-first
+/// (LPT over per-node queues): a pinned worker drains its own node's queue
+/// first and steals across nodes only when it runs dry, and each component
+/// engine inherits "node:<k>" memory placement for its assigned node — a
+/// component's store, shard buffers and workers all stay on one node.
+/// Results are identical either way: node assignment only reorders which
+/// worker runs which component, and the per-component seeds don't care.
 class ThreadExecutor final : public Executor {
 public:
     std::string_view name() const noexcept override { return "thread"; }
@@ -150,36 +173,107 @@ public:
                                     d.components[b].graph.node_count();
                          });
 
-        std::atomic<std::uint32_t> next{0};
         std::atomic<std::uint32_t> completed{0};
         std::mutex hook_mutex;
-        const auto work = [&](std::uint32_t) {
-            for (;;) {
-                const std::uint32_t k =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (k >= n) return;
-                const std::uint32_t c = order[k];
-                results[c] = run_component(d.components[c], c, opt);
-                const std::uint32_t done =
-                    completed.fetch_add(1, std::memory_order_relaxed) + 1;
-                if (hook) {
-                    ComponentProgress p;
-                    p.component = c;
-                    p.completed = done;
-                    p.total = n;
-                    p.nodes = d.components[c].graph.node_count();
-                    p.updates = results[c].updates;
-                    p.seconds = results[c].seconds;
-                    std::lock_guard<std::mutex> lock(hook_mutex);
-                    hook(p);
+        const auto report = [&](std::uint32_t c) {
+            const std::uint32_t done =
+                completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (!hook) return;
+            ComponentProgress p;
+            p.component = c;
+            p.completed = done;
+            p.total = n;
+            p.nodes = d.components[c].graph.node_count();
+            p.updates = results[c].updates;
+            p.seconds = results[c].seconds;
+            std::lock_guard<std::mutex> lock(hook_mutex);
+            hook(p);
+        };
+
+        const std::uint32_t n_workers =
+            opt.workers <= 1 ? 0 : std::min(opt.workers, n);
+        const core::PlacementContext place =
+            core::resolve_placement(opt.config, n_workers);
+        const std::uint32_t n_nodes =
+            place.topo ? place.topo->node_count() : 1;
+
+        if (!place.active() || n_nodes <= 1 || n_workers <= 1) {
+            // The historical single-queue path, byte for byte.
+            std::atomic<std::uint32_t> next{0};
+            const auto work = [&](std::uint32_t) {
+                for (;;) {
+                    const std::uint32_t k =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (k >= n) return;
+                    const std::uint32_t c = order[k];
+                    results[c] = run_component(d.components[c], c, opt);
+                    report(c);
                 }
+            };
+            // A pool of size 0 runs the job inline on the caller — the
+            // right degenerate form for workers <= 1.
+            core::ThreadPool pool(n_workers, place.plan);
+            pool.run(work);
+            return results;
+        }
+
+        // LPT across nodes: walk the largest-first order, handing each
+        // component to the least-loaded node (ties -> lowest index), load
+        // measured in graph nodes.
+        std::vector<std::vector<std::uint32_t>> queues(n_nodes);
+        std::vector<std::uint64_t> load(n_nodes, 0);
+        for (const std::uint32_t c : order) {
+            std::uint32_t best = 0;
+            for (std::uint32_t k = 1; k < n_nodes; ++k) {
+                if (load[k] < load[best]) best = k;
+            }
+            queues[best].push_back(c);
+            load[best] += d.components[c].graph.node_count();
+        }
+
+        // A component engine placed with its node: override the memory
+        // policy to the assigned node for the spreading policies. An
+        // explicit node:K request is respected as-is, and pin-without-numa
+        // keeps memory placement off (the pinned worker's first touch is
+        // already node-local for single-threaded component engines). numa
+        // is execution-only, so the override can never change bytes.
+        std::vector<SchedulerOptions> node_opt(n_nodes, opt);
+        if (place.policy.mode == core::NumaMode::kAuto ||
+            place.policy.mode == core::NumaMode::kInterleave) {
+            for (std::uint32_t k = 0; k < n_nodes; ++k) {
+                node_opt[k].config.numa = "node:" + std::to_string(k);
+            }
+        }
+
+        auto heads = std::make_unique<std::atomic<std::uint32_t>[]>(n_nodes);
+        for (std::uint32_t k = 0; k < n_nodes; ++k) heads[k].store(0);
+
+        const auto work = [&](std::uint32_t tid) {
+            const std::uint32_t home = tid < place.plan.slots.size()
+                                           ? place.plan.slots[tid].node
+                                           : tid % n_nodes;
+            for (;;) {
+                std::uint32_t c = n;  // sentinel: nothing left anywhere
+                std::uint32_t src = home;
+                for (std::uint32_t off = 0; off < n_nodes; ++off) {
+                    const std::uint32_t q = (home + off) % n_nodes;
+                    const std::uint32_t k =
+                        heads[q].fetch_add(1, std::memory_order_relaxed);
+                    // Overshooting an exhausted queue just leaves its head
+                    // past the end — harmless.
+                    if (k < queues[q].size()) {
+                        c = queues[q][k];
+                        src = q;
+                        break;
+                    }
+                }
+                if (c >= n) return;
+                results[c] = run_component(d.components[c], c, node_opt[src]);
+                report(c);
             }
         };
 
-        // A pool of size 0 runs the job inline on the caller — the right
-        // degenerate form for workers <= 1 (no pool thread, no sync cost).
-        core::ThreadPool pool(opt.workers <= 1 ? 0
-                                               : std::min(opt.workers, n));
+        core::ThreadPool pool(n_workers, place.plan);
         pool.run(work);
         return results;
     }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/config_canon.hpp"
+#include "core/topology.hpp"
 
 namespace pgl::serve {
 
@@ -54,6 +55,16 @@ JobRequest parse_request(const JsonValue& submit) {
                 r.config.zipf_space_max = v.as_uint();
             } else if (key == "threads") {
                 r.config.threads = checked_uint<std::uint32_t>(v, "threads");
+            } else if (key == "pin") {
+                // Execution-only, like executor/processes below: placement
+                // never changes the bytes, so neither knob enters the
+                // canonical request.
+                r.config.pin = v.as_bool();
+            } else if (key == "numa") {
+                // Validated here so a bad policy fails the submit with a
+                // "config.numa: ..." error instead of failing the job later.
+                core::parse_numa_policy(v.as_string());
+                r.config.numa = v.as_string();
             } else if (key == "seed") {
                 r.config.seed = v.as_uint();
             } else if (key == "init_jitter") {
@@ -109,6 +120,8 @@ JsonValue request_to_json(const JobRequest& r) {
     config["zipf_theta"] = JsonValue(r.config.zipf_theta);
     config["zipf_space_max"] = JsonValue(r.config.zipf_space_max);
     config["threads"] = JsonValue(std::uint64_t{r.config.threads});
+    config["pin"] = JsonValue(r.config.pin);
+    config["numa"] = JsonValue(r.config.numa);
     config["seed"] = JsonValue(r.config.seed);
     config["init_jitter"] = JsonValue(r.config.init_jitter);
     config["partition"] = JsonValue(r.partition);

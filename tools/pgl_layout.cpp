@@ -9,6 +9,7 @@
 //   pgl-layout -i graph.gfa|graph.pgg -o graph.lay
 //              [--backend NAME | --gpu[=a6000|a100]] [--kernel NAME]
 //              [--iters N] [--factor F] [--threads N] [--seed N]
+//              [--pin] [--numa off|auto|interleave|node:K]
 //              [--save-graph FILE.pgg] [--load-graph FILE.pgg]
 //              [--partition] [--component-workers N] [--processes N]
 //              [--per-component-out DIR]
@@ -37,6 +38,7 @@
 #include "cli_common.hpp"
 #include "core/engine.hpp"
 #include "core/kernels/update_kernel.hpp"
+#include "core/topology.hpp"
 #include "driver/driver.hpp"
 #include "gpusim/gpu_machine.hpp"
 #include "gpusim/gpu_spec.hpp"
@@ -55,6 +57,10 @@ void usage(const char* argv0) {
         << "  --iters N           SGD iterations (default 30)\n"
         << "  --factor F          updates per iteration = F x total steps (default 10)\n"
         << "  --threads N         CPU Hogwild workers (default 1)\n"
+        << "  --pin               pin pool workers to CPUs (best effort;\n"
+        << "                      never changes the layout bytes)\n"
+        << "  --numa MODE         NUMA memory placement: off (default), auto,\n"
+        << "                      interleave, node:K (execution-only, like --pin)\n"
         << "  --seed N            PRNG seed\n"
         << "  --save-graph FILE   write the parsed graph as a binary .pgg cache\n"
         << "                      (with no -o: convert and exit)\n"
@@ -155,6 +161,10 @@ int main(int argc, char** argv) {
             req.config.steps_per_iter_factor = cli::parse_double_or_die(arg, next());
         } else if (arg == "--threads") {
             req.config.threads = cli::parse_int_or_die<std::uint32_t>(arg, next());
+        } else if (arg == "--pin") {
+            req.config.pin = true;
+        } else if (arg == "--numa") {
+            req.config.numa = next();
         } else if (arg == "--seed") {
             req.config.seed = cli::parse_int_or_die<std::uint64_t>(arg, next());
         } else if (arg == "--save-graph") {
@@ -264,6 +274,12 @@ int main(int argc, char** argv) {
         return 2;
     }
     if (req.backend.empty()) req.backend = "cpu-soa";
+    try {
+        core::parse_numa_policy(req.config.numa);
+    } catch (const std::exception& e) {
+        std::cerr << "--numa: " << e.what() << "\n";
+        return 2;
+    }
     if (!core::KernelRegistry::instance().contains(req.config.kernel)) {
         std::cerr << "unknown update kernel \"" << req.config.kernel
                   << "\"; available:";
